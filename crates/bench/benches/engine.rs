@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the simulation engine itself: end-to-end
+//! packet throughput (events/second) on a loaded dumbbell, and a full
+//! record+replay cycle on a small Internet2 — the unit of work every
+//! Table 1 cell pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ups_core::replay::{record_original, replay_schedule, ReplayMode};
+use ups_core::workload::default_udp_workload;
+use ups_net::TraceLevel;
+use ups_sched::SchedKind;
+use ups_sim::{Bandwidth, Dur};
+use ups_topo::internet2::{build, I2Config, I2Variant};
+use ups_topo::simple::dumbbell;
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(15);
+
+    // How many packets does one workload push?
+    let topo = dumbbell(
+        4,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(1),
+        Dur::from_micros(10),
+        TraceLevel::Off,
+    );
+    let flows = default_udp_workload(&topo, 0.8, Dur::from_millis(10), 3);
+    let pkts: u64 = flows.iter().map(|f| f.pkts).sum();
+    drop(topo);
+
+    group.throughput(Throughput::Elements(pkts));
+    group.bench_function("dumbbell_udp_forwarding", |b| {
+        b.iter(|| {
+            let mut topo = dumbbell(
+                4,
+                Bandwidth::gbps(10),
+                Bandwidth::gbps(1),
+                Dur::from_micros(10),
+                TraceLevel::Off,
+            );
+            let mut stamper = ups_transport::HeaderStamper::zero();
+            ups_transport::inject_udp_flows(&mut topo.net, &flows, 1500, &mut stamper);
+            topo.net.run_to_completion();
+            black_box(topo.net.telemetry.counters.delivered)
+        })
+    });
+    group.finish();
+}
+
+fn bench_replay_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+
+    let factory = || {
+        build(
+            &I2Config {
+                variant: I2Variant::Default1g10g,
+                edges_per_core: 3,
+                ..Default::default()
+            },
+            TraceLevel::Hops,
+        )
+    };
+    let topo = factory();
+    let flows = default_udp_workload(&topo, 0.7, Dur::from_millis(3), 1);
+    drop(topo);
+
+    group.bench_function("i2_record_plus_lstf_replay", |b| {
+        b.iter(|| {
+            let mut orig = factory();
+            let schedule = record_original(&mut orig, &flows, SchedKind::Random, 1, 1500);
+            drop(orig);
+            let mut rep = factory();
+            let report = replay_schedule(&mut rep, &schedule, ReplayMode::lstf());
+            black_box(report.overdue)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forwarding, bench_replay_cycle);
+criterion_main!(benches);

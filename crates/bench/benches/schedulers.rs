@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the per-port schedulers: enqueue +
+//! dequeue throughput for each algorithm at a realistic queue depth.
+//!
+//! The paper's "real implementation" discussion (§5) argues LSTF is no
+//! more complex than fine-grained priorities; these numbers quantify
+//! that claim for software implementations (both are O(log n) ordered
+//! queues here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ups_net::testutil::queued_full;
+use ups_net::Scheduler;
+use ups_sched::SchedKind;
+use ups_sim::DetRng;
+
+/// Pre-generate a batch of queue entries with varied keys.
+fn make_batch(n: usize) -> Vec<(u64, i64, i64, u64)> {
+    let mut rng = DetRng::new(7);
+    (0..n)
+        .map(|i| {
+            (
+                rng.gen_range(16),                    // flow
+                rng.gen_range(2_000_000) as i64,      // slack
+                rng.gen_range(1_000) as i64,          // prio
+                i as u64,                             // enq ns
+            )
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_enq_deq");
+    group.sample_size(20);
+    let batch = make_batch(1024);
+
+    for kind in [
+        SchedKind::Fifo,
+        SchedKind::Lifo,
+        SchedKind::Random,
+        SchedKind::Sjf,
+        SchedKind::Srpt,
+        SchedKind::Fq,
+        SchedKind::Drr,
+        SchedKind::FifoPlus,
+        SchedKind::Lstf,
+        SchedKind::Edf,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let mut s = kind.build(ups_net::LinkId(0), 1);
+                for (i, &(flow, slack, prio, enq)) in batch.iter().enumerate() {
+                    let mut q = queued_full(flow, i as u64, slack, prio, enq);
+                    q.arrival_seq = i as u64;
+                    s.enqueue(q);
+                }
+                let mut out = 0u64;
+                while let Some(q) = s.dequeue() {
+                    out += q.pkt.seq;
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

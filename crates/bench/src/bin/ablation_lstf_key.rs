@@ -1,0 +1,12 @@
+//! DESIGN.md ablation — LSTF comparison-key variants: the Appendix D
+//! last-bit deadline (default) vs the pure deadline without the local
+//! transmission term. With uniform packet sizes they must coincide.
+
+use ups_bench::{ablation_lstf_key, print_replay_rows, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("LSTF key ablation (scale: {})", scale.label);
+    let rows = ablation_lstf_key(&scale);
+    print_replay_rows("Last-bit vs pure deadline", &rows);
+}

@@ -1,0 +1,12 @@
+//! §2.3(7) comparison — the same Random original schedule replayed by
+//! every candidate UPS. Paper: Priority(o) 21% overdue vs LSTF 0.21%;
+//! EDF identical to LSTF (Appendix E); omniscient perfect (Appendix B).
+
+use ups_bench::{ablation_priority, print_replay_rows, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Candidate-UPS comparison (scale: {})", scale.label);
+    let rows = ablation_priority(&scale);
+    print_replay_rows("LSTF vs Priority(o) vs EDF vs Omniscient", &rows);
+}

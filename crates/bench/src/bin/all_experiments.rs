@@ -1,0 +1,67 @@
+//! Run every table/figure experiment in sequence at the configured
+//! scale. `--full` gives paper-like scale.
+
+use ups_bench::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Universal Packet Scheduling — full experiment suite ({})", scale.label);
+
+    print_replay_rows("Table 1: LSTF replayability", &table1(&scale));
+
+    println!("\n=== Figure 1: queueing-delay ratio CDF ===");
+    for (label, cdf) in fig1(&scale) {
+        println!(
+            "{label:<10} n={:<8} P[ratio<=1]={:.3} median={:.3} p90={:.3}",
+            cdf.len(),
+            cdf.at(1.0),
+            cdf.quantile(0.5),
+            cdf.quantile(0.9)
+        );
+    }
+
+    println!("\n=== Figure 2: mean FCT ===");
+    let (_, results) = fig2(&scale);
+    for r in &results {
+        println!(
+            "{:<12} mean FCT {:.4}s ({}/{} flows completed)",
+            r.label, r.mean_fct, r.completed.0, r.completed.1
+        );
+    }
+
+    println!("\n=== Figure 3: tail packet delays ===");
+    for r in fig3(&scale) {
+        println!(
+            "{:<14} mean {:.6}s p99 {:.6}s p99.9 {:.6}s",
+            r.label, r.mean, r.p99, r.p999
+        );
+    }
+
+    println!("\n=== Figure 4: fairness convergence (final Jain index) ===");
+    for (label, pts) in fig4(&scale) {
+        let last = pts.last().expect("no points");
+        let half = &pts[pts.len() / 2];
+        println!(
+            "{:<16} jain@{}ms={:.4} jain@{}ms={:.4}",
+            label,
+            pts.len() / 2 + 1,
+            half.jain,
+            pts.len(),
+            last.jain
+        );
+    }
+
+    print_replay_rows("Ablation: preemptive LSTF", &ablation_preempt(&scale));
+    print_replay_rows("Ablation: candidate UPSes", &ablation_priority(&scale));
+    print_replay_rows("Ablation: LSTF key", &ablation_lstf_key(&scale));
+
+    println!("\n=== Congestion points per packet ===");
+    for (topo, hist, mean_slack_us) in congestion_points(&scale) {
+        let total: usize = hist.iter().sum();
+        print!("{topo:<18} mean slack {mean_slack_us:>8.1}us  ");
+        for (k, &n) in hist.iter().enumerate() {
+            print!("cp{k}: {:.3}  ", n as f64 / total as f64);
+        }
+        println!();
+    }
+}

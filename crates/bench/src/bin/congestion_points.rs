@@ -1,0 +1,19 @@
+//! §2.2 diagnostic — congestion points per packet under the default
+//! Random original schedule, per topology. The replay theorems are
+//! stated in these terms: ≤2 congestion points ⇒ LSTF replays
+//! perfectly; ≥3 ⇒ no UPS can.
+
+use ups_bench::{congestion_points, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Congestion points per packet (scale: {})", scale.label);
+    for (topo, hist, mean_slack_us) in congestion_points(&scale) {
+        let total: usize = hist.iter().sum();
+        print!("{topo:<18} mean slack {mean_slack_us:>8.1}us  ");
+        for (k, &n) in hist.iter().enumerate() {
+            print!("cp{k}: {:.3}  ", n as f64 / total as f64);
+        }
+        println!();
+    }
+}

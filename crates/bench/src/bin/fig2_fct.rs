@@ -1,0 +1,36 @@
+//! Figure 2 — mean flow completion time bucketed by flow size on the
+//! default Internet2 topology at 70% utilization; TCP with 5 MB router
+//! buffers. Paper means: FIFO 0.288s, SRPT 0.208s, SJF 0.194s,
+//! LSTF 0.195s (shape: LSTF ≈ SJF ≈ SRPT ≪ FIFO).
+
+use ups_bench::{fig2, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 2 (scale: {})", scale.label);
+    let (buckets, results) = fig2(&scale);
+    print!("{:<14}", "size(pkts)");
+    for r in &results {
+        print!(" {:>12}", r.label);
+    }
+    println!();
+    for b in 0..buckets.count() {
+        print!("{:<14}", buckets.label(b));
+        for r in &results {
+            let (mean, n) = r.buckets[b];
+            if n == 0 {
+                print!(" {:>12}", "-");
+            } else {
+                print!(" {:>12.5}", mean);
+            }
+        }
+        println!();
+    }
+    println!();
+    for r in &results {
+        println!(
+            "{:<12} mean FCT {:.4}s over {}/{} completed flows",
+            r.label, r.mean_fct, r.completed.0, r.completed.1
+        );
+    }
+}

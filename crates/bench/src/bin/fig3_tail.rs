@@ -1,0 +1,41 @@
+//! Figure 3 — tail packet delays: FIFO vs LSTF with a constant slack
+//! (identical to FIFO+), UDP at 70% on the default Internet2 topology.
+//! Paper: FIFO mean 0.0780s / p99 0.2142s; LSTF mean 0.0786s /
+//! p99 0.1958s (shape: slightly higher mean, lower tail).
+
+use ups_bench::{fig3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 3 (scale: {})", scale.label);
+    let results = fig3(&scale);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "scheme", "mean(s)", "p99(s)", "p99.9(s)", "max(s)", "packets"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>9}",
+            r.label,
+            r.mean,
+            r.p99,
+            r.p999,
+            r.max,
+            r.cdf.len()
+        );
+    }
+    // CCDF at round delay multiples of the FIFO p99.
+    if let [fifo, lstf] = &results[..] {
+        println!("\nCCDF (fraction of packets with delay > x):");
+        println!("{:>12} {:>12} {:>12}", "x(s)", "FIFO", "LSTF");
+        for k in 1..=10 {
+            let x = fifo.p99 * k as f64 / 5.0;
+            println!(
+                "{:>12.6} {:>12.2e} {:>12.2e}",
+                x,
+                fifo.cdf.ccdf_at(x),
+                lstf.cdf.ccdf_at(x)
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 4 — Jain fairness index over time for long-lived TCP flows on
+//! Internet2 with 10 Gbps edges: FIFO, FQ, and LSTF with virtual-clock
+//! slack at rest ∈ {1, 0.5, 0.1, 0.05, 0.01} Gbps. Paper: LSTF
+//! converges to fairness 1 for every rest ≤ r*, sooner for larger rest.
+
+use ups_bench::{fig4, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 4 (scale: {})", scale.label);
+    let series = fig4(&scale);
+    print!("{:<16}", "t(ms)");
+    for (label, _) in &series {
+        print!(" {label:>14}");
+    }
+    println!();
+    let n = series[0].1.len();
+    for w in 0..n {
+        print!("{:<16.1}", (w + 1) as f64);
+        for (_, pts) in &series {
+            print!(" {:>14.4}", pts[w].jain);
+        }
+        println!();
+    }
+}

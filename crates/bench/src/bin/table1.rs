@@ -1,0 +1,16 @@
+//! Table 1 — LSTF replayability across utilizations, link-speed
+//! variants, topologies, and original scheduling algorithms.
+//!
+//! Paper reference values (fraction overdue / fraction overdue > T):
+//! I2 default @70% Random: 0.0021 / 0.0002; SJF: 0.1833 / 0.0019;
+//! LIFO: 0.1477 / 0.0067; RocketFuel: 0.0246 / 0.0063;
+//! Datacenter: 0.0164 / 0.0154.
+
+use ups_bench::{print_replay_rows, table1, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 1 (scale: {})", scale.label);
+    let rows = table1(&scale);
+    print_replay_rows("LSTF Replayability Results", &rows);
+}

@@ -1,0 +1,28 @@
+//! `ups-bench` — the experiment harness.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), all built
+//! on the shared runners in this library so the integration tests can
+//! exercise the same code at reduced scale:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — LSTF replayability across utilizations, link speeds, topologies, original schedulers |
+//! | `fig1_delay_ratio` | Figure 1 — CDF of queueing-delay ratio (LSTF : original) |
+//! | `fig2_fct` | Figure 2 — mean FCT by flow size, FIFO/SJF/SRPT/LSTF |
+//! | `fig3_tail` | Figure 3 — tail packet delays, FIFO vs LSTF(≡FIFO+) |
+//! | `fig4_fairness` | Figure 4 — Jain fairness convergence, FIFO/FQ/LSTF@rest |
+//! | `ablation_preempt` | §2.3(5) — preemptive LSTF on SJF/LIFO replays |
+//! | `ablation_priority` | §2.3(7) — Priority(o) vs LSTF vs EDF vs omniscient |
+//! | `ablation_lstf_key` | DESIGN.md ablation — last-bit vs pure-deadline keys |
+//! | `congestion_points` | §2.2 diagnostic — congestion points per packet |
+//! | `all_experiments` | everything above at the configured scale |
+//!
+//! Every binary accepts `--full` for paper-like scale (all runs are still
+//! laptop-sized) and `--seed N`; the default "quick" scale finishes each
+//! experiment in seconds.
+
+pub mod runners;
+pub mod scale;
+
+pub use runners::*;
+pub use scale::Scale;

@@ -1,0 +1,511 @@
+//! Shared experiment runners: each returns structured data; the binaries
+//! format it. Integration tests call these at [`Scale::quick`].
+
+use crate::scale::Scale;
+use ups_core::objectives::Scheme;
+use ups_core::replay::{record_original, replay_schedule, ReplayMode, ReplayReport};
+use ups_core::workload::{default_udp_workload, to_flow_descs};
+use ups_core::RecordedSchedule;
+use ups_metrics::{bucket_means, Cdf, FairnessPoint, SizeBuckets};
+use ups_net::TraceLevel;
+use ups_sched::{LstfKeyMode, SchedKind};
+use ups_sim::{Bandwidth, Dur, Time};
+use ups_topo::internet2::{self, I2Config, I2Variant};
+use ups_topo::{fattree, rocketfuel, Topology};
+
+/// Topology selector for replay experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Internet2 with one of the paper's bandwidth variants.
+    I2(I2Variant),
+    /// Synthetic RocketFuel (83 routers / 131 links).
+    RocketFuel,
+    /// Full-bisection fat-tree datacenter.
+    FatTree,
+}
+
+impl TopoKind {
+    /// Display label (matches Table 1's "Topology" column).
+    pub fn label(self) -> String {
+        match self {
+            TopoKind::I2(v) => v.label().to_string(),
+            TopoKind::RocketFuel => "RocketFuel".to_string(),
+            TopoKind::FatTree => "Datacenter".to_string(),
+        }
+    }
+
+    /// Build a fresh instance at the given scale.
+    pub fn build(self, scale: &Scale) -> Topology {
+        match self {
+            TopoKind::I2(variant) => internet2::build(
+                &I2Config {
+                    variant,
+                    edges_per_core: scale.edges_per_core,
+                    ..Default::default()
+                },
+                TraceLevel::Hops,
+            ),
+            TopoKind::RocketFuel => rocketfuel::build(
+                &rocketfuel::RocketFuelConfig {
+                    edges_per_core: (scale.edges_per_core / 2).max(1),
+                    ..Default::default()
+                },
+                TraceLevel::Hops,
+            ),
+            TopoKind::FatTree => fattree::build(
+                &fattree::FatTreeConfig {
+                    k: scale.fattree_k,
+                    ..Default::default()
+                },
+                TraceLevel::Hops,
+            ),
+        }
+    }
+}
+
+/// One row of a replayability table.
+#[derive(Debug, Clone)]
+pub struct ReplayRow {
+    /// Topology label.
+    pub topo: String,
+    /// Target utilization of the most-loaded core link.
+    pub util: f64,
+    /// Original scheduling algorithm.
+    pub original: &'static str,
+    /// Replay mode label.
+    pub mode: String,
+    /// Packets replayed.
+    pub total: usize,
+    /// Fraction overdue.
+    pub frac_overdue: f64,
+    /// Fraction overdue by more than `T`.
+    pub frac_gt_t: f64,
+    /// The threshold `T` in microseconds.
+    pub t_us: f64,
+    /// Largest congestion-point count in the original schedule.
+    pub max_cp: usize,
+    /// Mean slack (µs) in the original schedule.
+    pub mean_slack_us: f64,
+}
+
+/// Record an original schedule and replay it; returns the row plus the
+/// raw report (for CDFs) and the recorded schedule (for diagnostics).
+pub fn run_replay(
+    kind: TopoKind,
+    scale: &Scale,
+    util: f64,
+    original: SchedKind,
+    mode: ReplayMode,
+) -> (ReplayRow, ReplayReport, RecordedSchedule) {
+    let mut orig_topo = kind.build(scale);
+    let flows = default_udp_workload(&orig_topo, util, scale.horizon, scale.seed);
+    let schedule = record_original(&mut orig_topo, &flows, original, scale.seed, 1500);
+    drop(orig_topo);
+    let mut replay_topo = kind.build(scale);
+    let report = replay_schedule(&mut replay_topo, &schedule, mode);
+    let row = ReplayRow {
+        topo: kind.label(),
+        util,
+        original: original.label(),
+        mode: mode.label().to_string(),
+        total: report.total,
+        frac_overdue: report.frac_overdue(),
+        frac_gt_t: report.frac_overdue_gt_t(),
+        t_us: report.t.as_micros_f64(),
+        max_cp: schedule.max_congestion_points(),
+        mean_slack_us: schedule.mean_slack() / 1e6,
+    };
+    (row, report, schedule)
+}
+
+/// Table 1: all scenario rows.
+pub fn table1(scale: &Scale) -> Vec<ReplayRow> {
+    let mut rows = Vec::new();
+    let lstf = ReplayMode::lstf();
+    // Rows 1-2: default topology, Random, utilization sweep.
+    for util in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        rows.push(
+            run_replay(
+                TopoKind::I2(I2Variant::Default1g10g),
+                scale,
+                util,
+                SchedKind::Random,
+                lstf,
+            )
+            .0,
+        );
+    }
+    // Row 3: bandwidth variants at 70%.
+    for variant in [I2Variant::Access1g1g, I2Variant::Access10g10g] {
+        rows.push(run_replay(TopoKind::I2(variant), scale, 0.7, SchedKind::Random, lstf).0);
+    }
+    // Row 4: other topologies at 70%.
+    for kind in [TopoKind::RocketFuel, TopoKind::FatTree] {
+        rows.push(run_replay(kind, scale, 0.7, SchedKind::Random, lstf).0);
+    }
+    // Row 5: original-scheduler sweep on the default topology.
+    for original in [
+        SchedKind::Fifo,
+        SchedKind::Fq,
+        SchedKind::Sjf,
+        SchedKind::Lifo,
+        SchedKind::FqFifoPlusMix,
+    ] {
+        rows.push(
+            run_replay(
+                TopoKind::I2(I2Variant::Default1g10g),
+                scale,
+                0.7,
+                original,
+                lstf,
+            )
+            .0,
+        );
+    }
+    rows
+}
+
+/// Figure 1: per-original-scheduler CDFs of the queueing-delay ratio.
+pub fn fig1(scale: &Scale) -> Vec<(&'static str, Cdf)> {
+    [
+        SchedKind::Random,
+        SchedKind::Fifo,
+        SchedKind::Fq,
+        SchedKind::Sjf,
+        SchedKind::Lifo,
+        SchedKind::FqFifoPlusMix,
+    ]
+    .into_iter()
+    .map(|orig| {
+        let (_, report, _) = run_replay(
+            TopoKind::I2(I2Variant::Default1g10g),
+            scale,
+            0.7,
+            orig,
+            ReplayMode::lstf(),
+        );
+        (orig.label(), Cdf::new(report.qdelay_ratios))
+    })
+    .collect()
+}
+
+/// One scheme's Figure 2 result.
+#[derive(Debug)]
+pub struct FctResult {
+    /// Scheme label.
+    pub label: String,
+    /// Mean FCT over completed flows (seconds).
+    pub mean_fct: f64,
+    /// Completed / total flows.
+    pub completed: (usize, usize),
+    /// Per-bucket (mean FCT seconds, flow count).
+    pub buckets: Vec<(f64, usize)>,
+}
+
+/// Figure 2: mean FCT by flow-size bucket under FIFO / SJF / SRPT /
+/// LSTF(fs×D), TCP with finite buffers.
+pub fn fig2(scale: &Scale) -> (SizeBuckets, Vec<FctResult>) {
+    let buckets = SizeBuckets::paper_fig2();
+    let kind = TopoKind::I2(I2Variant::Default1g10g);
+    let topo = kind.build(scale);
+    let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
+    drop(topo);
+    let horizon = Time::ZERO + scale.horizon * 40 + Dur::from_secs(2);
+    let buffer = 5_000_000; // 5 MB, as in §3.1
+    let schemes = vec![
+        Scheme::Fifo,
+        Scheme::Sjf,
+        Scheme::Srpt,
+        Scheme::LstfFct {
+            d: Dur::from_secs(1),
+        },
+    ];
+    let results = schemes
+        .into_iter()
+        .map(|scheme| {
+            let res = ups_core::run_fct(kind.build(scale), &flows, &scheme, buffer, horizon);
+            let done: Vec<_> = res.iter().filter(|r| r.completed.is_some()).collect();
+            let sizes: Vec<u64> = done.iter().map(|r| r.desc.pkts).collect();
+            let fcts: Vec<f64> = done
+                .iter()
+                .map(|r| r.fct().expect("completed").as_secs_f64())
+                .collect();
+            let mean = if fcts.is_empty() {
+                0.0
+            } else {
+                fcts.iter().sum::<f64>() / fcts.len() as f64
+            };
+            FctResult {
+                label: scheme.label(),
+                mean_fct: mean,
+                completed: (done.len(), res.len()),
+                buckets: bucket_means(&buckets, &sizes, &fcts),
+            }
+        })
+        .collect();
+    (buckets, results)
+}
+
+/// One scheme's Figure 3 result.
+#[derive(Debug)]
+pub struct TailResult {
+    /// Scheme label.
+    pub label: String,
+    /// Mean packet delay (seconds).
+    pub mean: f64,
+    /// 99th-percentile delay (seconds).
+    pub p99: f64,
+    /// 99.9th-percentile delay (seconds).
+    pub p999: f64,
+    /// Maximum delay (seconds).
+    pub max: f64,
+    /// The full delay distribution for CCDF printing.
+    pub cdf: Cdf,
+}
+
+/// Figure 3: per-packet delays under FIFO vs LSTF with constant slack
+/// (≡ FIFO+), open-loop UDP so the load is identical.
+pub fn fig3(scale: &Scale) -> Vec<TailResult> {
+    let kind = TopoKind::I2(I2Variant::Default1g10g);
+    let topo = kind.build(scale);
+    let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
+    drop(topo);
+    [
+        Scheme::Fifo,
+        Scheme::LstfConst {
+            slack: Dur::from_secs(1),
+        },
+    ]
+    .into_iter()
+    .map(|scheme| {
+        let delays = ups_core::run_tail_delays(kind.build(scale), &flows, &scheme, 1500, None);
+        let cdf = Cdf::new(delays);
+        TailResult {
+            label: scheme.label(),
+            mean: cdf.mean(),
+            p99: cdf.quantile(0.99),
+            p999: cdf.quantile(0.999),
+            max: cdf.quantile(1.0),
+            cdf,
+        }
+    })
+    .collect()
+}
+
+/// Figure 4: Jain fairness convergence for long-lived TCP flows.
+///
+/// Per the paper: Internet2 with 10 Gbps edges so all congestion is in
+/// the core, shortened propagation delays, jittered flow starts, and
+/// LSTF slack from the virtual-clock rule at several `rest` estimates.
+pub fn fig4(scale: &Scale) -> Vec<(String, Vec<FairnessPoint>)> {
+    let factory = || {
+        internet2::build(
+            &I2Config {
+                variant: I2Variant::Access10g10g,
+                core_bw: Bandwidth::gbps(10),
+                edges_per_core: scale.edges_per_core,
+                core_prop_scale_percent: 10,
+                ..Default::default()
+            },
+            TraceLevel::Delivery,
+        )
+    };
+    let topo = factory();
+    let n_flows = (topo.hosts.len() * 9 / 10).max(2);
+    let flows = to_flow_descs(&ups_flowgen::long_lived_flows(
+        &topo,
+        n_flows,
+        Dur::from_millis(5),
+        scale.seed,
+    ));
+    drop(topo);
+    let window = Dur::from_millis(1);
+    let horizon = Time::from_millis(20);
+    let mut schemes = vec![Scheme::Fifo, Scheme::Fq];
+    for rest_mbps in [1000, 500, 100, 50, 10] {
+        schemes.push(Scheme::LstfVc {
+            rest: Bandwidth::mbps(rest_mbps),
+        });
+    }
+    schemes
+        .into_iter()
+        .map(|scheme| {
+            let pts = ups_core::run_fairness(factory(), &flows, &scheme, window, horizon, None);
+            (scheme.label(), pts)
+        })
+        .collect()
+}
+
+/// §2.3(5): non-preemptive vs preemptive LSTF on the hardest originals.
+pub fn ablation_preempt(scale: &Scale) -> Vec<ReplayRow> {
+    let mut rows = Vec::new();
+    for original in [SchedKind::Sjf, SchedKind::Lifo, SchedKind::Fifo, SchedKind::Random] {
+        for mode in [ReplayMode::lstf(), ReplayMode::lstf_preemptive()] {
+            rows.push(
+                run_replay(
+                    TopoKind::I2(I2Variant::Default1g10g),
+                    scale,
+                    0.7,
+                    original,
+                    mode,
+                )
+                .0,
+            );
+        }
+    }
+    rows
+}
+
+/// §2.3(7) + appendices: same original schedule replayed under every
+/// candidate UPS.
+pub fn ablation_priority(scale: &Scale) -> Vec<ReplayRow> {
+    let kind = TopoKind::I2(I2Variant::Default1g10g);
+    let mut orig_topo = kind.build(scale);
+    let flows = default_udp_workload(&orig_topo, 0.7, scale.horizon, scale.seed);
+    let schedule = record_original(&mut orig_topo, &flows, SchedKind::Random, scale.seed, 1500);
+    drop(orig_topo);
+    [
+        ReplayMode::lstf(),
+        ReplayMode::Priority,
+        ReplayMode::Edf,
+        ReplayMode::Omniscient,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let mut topo = kind.build(scale);
+        let report = replay_schedule(&mut topo, &schedule, mode);
+        ReplayRow {
+            topo: kind.label(),
+            util: 0.7,
+            original: "Random",
+            mode: mode.label().to_string(),
+            total: report.total,
+            frac_overdue: report.frac_overdue(),
+            frac_gt_t: report.frac_overdue_gt_t(),
+            t_us: report.t.as_micros_f64(),
+            max_cp: schedule.max_congestion_points(),
+            mean_slack_us: schedule.mean_slack() / 1e6,
+        }
+    })
+    .collect()
+}
+
+/// DESIGN.md ablation: the last-bit deadline key vs the pure deadline
+/// key (they coincide for uniform packet sizes; this verifies that).
+pub fn ablation_lstf_key(scale: &Scale) -> Vec<ReplayRow> {
+    [LstfKeyMode::LastBit, LstfKeyMode::PureDeadline]
+        .into_iter()
+        .map(|key| {
+            run_replay(
+                TopoKind::I2(I2Variant::Default1g10g),
+                scale,
+                0.7,
+                SchedKind::Random,
+                ReplayMode::Lstf {
+                    preemptive: false,
+                    key,
+                },
+            )
+            .0
+        })
+        .collect()
+}
+
+/// §2.2 diagnostic: congestion points per packet across topologies.
+pub fn congestion_points(scale: &Scale) -> Vec<(String, Vec<usize>, f64)> {
+    [
+        TopoKind::I2(I2Variant::Default1g10g),
+        TopoKind::I2(I2Variant::Access1g1g),
+        TopoKind::I2(I2Variant::Access10g10g),
+        TopoKind::RocketFuel,
+        TopoKind::FatTree,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let mut topo = kind.build(scale);
+        let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
+        let schedule = record_original(&mut topo, &flows, SchedKind::Random, scale.seed, 1500);
+        (
+            kind.label(),
+            schedule.congestion_point_histogram(),
+            schedule.mean_slack() / 1e6,
+        )
+    })
+    .collect()
+}
+
+/// Format a replay-row table for stdout.
+pub fn print_replay_rows(title: &str, rows: &[ReplayRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<18} {:>5} {:<9} {:<14} {:>9} {:>12} {:>10} {:>8} {:>7} {:>12}",
+        "Topology",
+        "Util",
+        "Original",
+        "Replay",
+        "Packets",
+        "FracOverdue",
+        "Frac>T",
+        "T(us)",
+        "MaxCP",
+        "MeanSlack(us)"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>4.0}% {:<9} {:<14} {:>9} {:>12.6} {:>10.6} {:>8.1} {:>7} {:>12.1}",
+            r.topo,
+            r.util * 100.0,
+            r.original,
+            r.mode,
+            r.total,
+            r.frac_overdue,
+            r.frac_gt_t,
+            r.t_us,
+            r.max_cp,
+            r.mean_slack_us
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            edges_per_core: 2,
+            horizon: Dur::from_millis(2),
+            fattree_k: 4,
+            seed: 7,
+            label: "tiny",
+        }
+    }
+
+    #[test]
+    fn replay_row_has_sane_fields() {
+        let (row, report, schedule) = run_replay(
+            TopoKind::I2(I2Variant::Default1g10g),
+            &tiny(),
+            0.5,
+            SchedKind::Random,
+            ReplayMode::lstf(),
+        );
+        assert!(row.total > 0);
+        assert!(row.frac_overdue <= 1.0);
+        assert!(row.frac_gt_t <= row.frac_overdue);
+        assert_eq!(report.total, schedule.len());
+        assert!((row.t_us - 12.0).abs() < 1e-9, "T must be 12us, got {}", row.t_us);
+    }
+
+    #[test]
+    fn omniscient_is_perfect_on_i2() {
+        let (row, _, _) = run_replay(
+            TopoKind::I2(I2Variant::Default1g10g),
+            &tiny(),
+            0.6,
+            SchedKind::Random,
+            ReplayMode::Omniscient,
+        );
+        assert_eq!(row.frac_overdue, 0.0, "Appendix B violated");
+    }
+}

@@ -1,0 +1,97 @@
+//! Experiment scale parsed from the command line.
+
+use ups_sim::Dur;
+
+/// Knobs that trade fidelity for runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Edge routers (and hosts) per core router on WAN topologies
+    /// (paper: 10).
+    pub edges_per_core: usize,
+    /// Flow-arrival horizon for open-loop workloads.
+    pub horizon: Dur,
+    /// Fat-tree arity.
+    pub fattree_k: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Human label for report headers.
+    pub label: &'static str,
+}
+
+impl Scale {
+    /// Fast scale: the paper's topology size (10 edge routers per core,
+    /// 100 hosts on Internet2 — replay quality depends on this mixing),
+    /// with a short workload horizon. Each experiment takes seconds.
+    pub fn quick() -> Scale {
+        Scale {
+            edges_per_core: 10,
+            horizon: Dur::from_millis(10),
+            fattree_k: 4,
+            seed: 1,
+            label: "quick",
+        }
+    }
+
+    /// Paper-like scale: longer horizon for tighter fractions, k=8
+    /// fat-tree (128 hosts).
+    pub fn full() -> Scale {
+        Scale {
+            edges_per_core: 10,
+            horizon: Dur::from_millis(40),
+            fattree_k: 8,
+            seed: 1,
+            label: "full",
+        }
+    }
+
+    /// Parse from `std::env::args`: `--full`, `--seed N`,
+    /// `--horizon-ms N`, `--edges N`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let mut s = if args.iter().any(|a| a == "--full") {
+            Scale::full()
+        } else {
+            Scale::quick()
+        };
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let mut grab = |field: &mut u64| {
+                if let Some(v) = it.peek() {
+                    if let Ok(n) = v.parse::<u64>() {
+                        *field = n;
+                    }
+                }
+            };
+            match a.as_str() {
+                "--seed" => grab(&mut s.seed),
+                "--horizon-ms" => {
+                    let mut ms = s.horizon.as_ps() / ups_sim::PS_PER_MS;
+                    grab(&mut ms);
+                    s.horizon = Dur::from_millis(ms);
+                }
+                "--edges" => {
+                    let mut e = s.edges_per_core as u64;
+                    grab(&mut e);
+                    s.edges_per_core = e as usize;
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let (q, f) = (Scale::quick(), Scale::full());
+        assert!(q.horizon < f.horizon);
+        assert!(q.fattree_k < f.fattree_k);
+        // Both use the paper's WAN topology size — replay quality depends
+        // on that host-level statistical mixing.
+        assert_eq!(q.edges_per_core, 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! The omniscient UPS of Appendix B.
+//!
+//! With *omniscient* header initialization, the ingress writes the vector
+//! of per-hop scheduling times `⟨o(p, α₁), …, o(p, αₙ)⟩` into the packet.
+//! Each router pops (indexes) its own entry and uses it as a static
+//! priority — earlier original scheduling time = served first. Appendix B
+//! proves this replays **any** viable schedule perfectly; the property
+//! tests in `tests/` exercise that end-to-end.
+
+use ups_net::scheduler::Queued;
+use ups_sched::keyed::{KeyPolicy, Keyed};
+
+/// Key policy: priority = this hop's recorded scheduling time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OmniscientPolicy;
+
+impl KeyPolicy for OmniscientPolicy {
+    fn name(&self) -> &'static str {
+        "Omniscient"
+    }
+    fn key(&self, q: &Queued) -> i64 {
+        let times = q
+            .pkt
+            .hdr
+            .hop_times
+            .as_ref()
+            .expect("omniscient scheduler requires hop_times in the header");
+        times[q.pkt.hops_done as usize].as_ps() as i64
+    }
+}
+
+/// The omniscient per-hop-priority scheduler.
+pub type Omniscient = Keyed<OmniscientPolicy>;
+
+/// Construct an omniscient scheduler.
+pub fn omniscient() -> Omniscient {
+    Keyed::new(OmniscientPolicy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ups_net::testutil::queued_slack;
+    use ups_net::Scheduler;
+    use ups_sim::Time;
+
+    fn with_hops(mut q: ups_net::Queued, times: &[u64], hops_done: u16) -> ups_net::Queued {
+        q.pkt.hdr.hop_times = Some(Arc::from(
+            times
+                .iter()
+                .map(|&us| Time::from_micros(us))
+                .collect::<Vec<_>>(),
+        ));
+        q.pkt.hops_done = hops_done;
+        q
+    }
+
+    #[test]
+    fn orders_by_current_hop_entry() {
+        let mut s = omniscient();
+        // Packet 0 is at hop 1 with entry 50us; packet 1 at hop 0 with
+        // entry 10us: packet 1 wins even though its later entries are big.
+        s.enqueue(with_hops(queued_slack(0, 0, 0), &[5, 50], 1));
+        s.enqueue(with_hops(queued_slack(0, 0, 1), &[10, 999], 0));
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 1);
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires hop_times")]
+    fn rejects_unstamped_packets() {
+        let mut s = omniscient();
+        s.enqueue(queued_slack(0, 0, 0));
+    }
+}

@@ -1,0 +1,449 @@
+//! The replay engine (§2).
+//!
+//! Records an *original* schedule by running any mix of schedulers over
+//! an open-loop UDP workload, then re-runs the identical input — same
+//! packets, same ingress times `i(p)`, same paths — under a candidate
+//! UPS, and scores the replay: the fraction of packets overdue
+//! (`o'(p) > o(p)`), the fraction overdue by more than the bottleneck
+//! transmission time `T`, and the per-packet queueing-delay ratios of
+//! Figure 1.
+//!
+//! Candidate UPSes: LSTF (non-preemptive by default, preemptive for the
+//! §2.3(5) ablation), simple Priority with `prio = o(p)` (§2.3(7)), EDF
+//! (the Appendix E equivalent), and the omniscient per-hop-vector UPS
+//! (Appendix B).
+
+use crate::omniscient::omniscient;
+use crate::schedule::RecordedSchedule;
+use std::sync::Arc;
+use ups_net::{PacketKind, SchedHeader, TraceLevel};
+use ups_sched::{edf, lstf_with, priority, LstfKeyMode, SchedKind};
+use ups_sim::Dur;
+use ups_topo::Topology;
+use ups_transport::{FlowDesc, HeaderStamper, PrioPolicy, SlackPolicy};
+
+/// The candidate UPS used for a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Least Slack Time First with slack = `o − i − tmin`.
+    Lstf {
+        /// Allow arrivals to preempt the in-flight packet (fluid model).
+        preemptive: bool,
+        /// Deadline formula (see [`LstfKeyMode`]).
+        key: LstfKeyMode,
+    },
+    /// Simple priorities with `prio = o(p)` — "the most intuitive
+    /// priority assignment" of §2.3(7).
+    Priority,
+    /// Network-wide EDF on a static `o(p)` header (Appendix E).
+    Edf,
+    /// Omniscient per-hop output-time vector (Appendix B).
+    Omniscient,
+}
+
+impl ReplayMode {
+    /// Non-preemptive paper-default LSTF.
+    pub fn lstf() -> ReplayMode {
+        ReplayMode::Lstf {
+            preemptive: false,
+            key: LstfKeyMode::LastBit,
+        }
+    }
+
+    /// Preemptive LSTF (ablation).
+    pub fn lstf_preemptive() -> ReplayMode {
+        ReplayMode::Lstf {
+            preemptive: true,
+            key: LstfKeyMode::LastBit,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplayMode::Lstf {
+                preemptive: false, ..
+            } => "LSTF",
+            ReplayMode::Lstf {
+                preemptive: true, ..
+            } => "LSTF(preempt)",
+            ReplayMode::Priority => "Priority(o)",
+            ReplayMode::Edf => "EDF",
+            ReplayMode::Omniscient => "Omniscient",
+        }
+    }
+}
+
+/// Scoring tolerance: a packet counts as overdue only if it exits more
+/// than this after its target. Non-preemptive replays are exact (integer
+/// picosecond arithmetic), but the preemptive fluid model quantizes
+/// partial transmissions to whole bytes, leaving picosecond-scale
+/// residue on resumed packets; 1 ns absorbs that while being three
+/// orders of magnitude below any real miss (the bottleneck transmission
+/// time is 12 µs).
+pub const OVERDUE_TOLERANCE_PS: i64 = 1_000;
+
+/// Outcome of one replay.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Which UPS was used.
+    pub mode: ReplayMode,
+    /// Packets replayed.
+    pub total: usize,
+    /// Packets with `o'(p) > o(p)`.
+    pub overdue: usize,
+    /// Packets with `o'(p) > o(p) + T`.
+    pub overdue_gt_t: usize,
+    /// The threshold `T`: one MTU transmission on the slowest link.
+    pub t: Dur,
+    /// Per-packet lateness `o'(p) − o(p)` in picoseconds (≤ 0 = on time),
+    /// in recorded-packet order.
+    pub lateness: Vec<i64>,
+    /// Queueing-delay ratios replay/original for packets with non-zero
+    /// original queueing delay (Figure 1).
+    pub qdelay_ratios: Vec<f64>,
+}
+
+impl ReplayReport {
+    /// Fraction of packets overdue.
+    pub fn frac_overdue(&self) -> f64 {
+        self.overdue as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of packets overdue by more than `T`.
+    pub fn frac_overdue_gt_t(&self) -> f64 {
+        self.overdue_gt_t as f64 / self.total.max(1) as f64
+    }
+
+    /// Worst lateness observed (≤ 0 means a perfect replay).
+    pub fn max_lateness(&self) -> i64 {
+        self.lateness.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True iff every packet met its target (`o' ≤ o`).
+    pub fn perfect(&self) -> bool {
+        self.overdue == 0
+    }
+}
+
+/// Run the original schedule: install `original` schedulers on every
+/// port of `topo` (which must be freshly built with
+/// [`TraceLevel::Hops`] and unbounded buffers), inject the UDP workload,
+/// run to completion, and extract the recorded schedule.
+///
+/// `seed` feeds the Random scheduler. SJF-style originals get their
+/// priority stamp (`prio = flow size`) from the ingress, as the paper's
+/// model requires.
+pub fn record_original(
+    topo: &mut Topology,
+    flows: &[FlowDesc],
+    original: SchedKind,
+    seed: u64,
+    mtu: u32,
+) -> RecordedSchedule {
+    assert_eq!(
+        topo.net.telemetry.level,
+        TraceLevel::Hops,
+        "recording requires hop-level tracing"
+    );
+    topo.net.set_all_buffers(None);
+    topo.net
+        .set_all_schedulers(|l| original.build(l.id, seed));
+    let prio = if original.needs_priority_stamp() {
+        PrioPolicy::FlowSize
+    } else {
+        PrioPolicy::None
+    };
+    let mut stamper = HeaderStamper::new(SlackPolicy::None, prio);
+    ups_transport::inject_udp_flows(&mut topo.net, flows, mtu, &mut stamper);
+    topo.net.run_to_completion();
+    RecordedSchedule::from_telemetry(&topo.net.telemetry)
+}
+
+/// Replay `schedule` on a *fresh* build of the same topology under
+/// `mode`, and score it.
+pub fn replay_schedule(
+    topo: &mut Topology,
+    schedule: &RecordedSchedule,
+    mode: ReplayMode,
+) -> ReplayReport {
+    assert_eq!(
+        topo.net.telemetry.level,
+        TraceLevel::Hops,
+        "replay scoring requires hop-level tracing"
+    );
+    assert_eq!(
+        topo.net.telemetry.counters.injected, 0,
+        "replay needs a fresh topology build"
+    );
+    topo.net.set_all_buffers(None);
+    match mode {
+        ReplayMode::Lstf { preemptive, key } => {
+            topo.net.set_all_schedulers(|_| Box::new(lstf_with(key)));
+            topo.net.set_all_preemptive(preemptive);
+        }
+        ReplayMode::Priority => topo.net.set_all_schedulers(|_| Box::new(priority())),
+        ReplayMode::Edf => topo.net.set_all_schedulers(|_| Box::new(edf())),
+        ReplayMode::Omniscient => topo.net.set_all_schedulers(|_| Box::new(omniscient())),
+    }
+
+    // Inject the identical input with mode-specific headers.
+    for rec in &schedule.packets {
+        let hdr = match mode {
+            ReplayMode::Lstf { .. } => SchedHeader {
+                slack: rec.slack(),
+                prio: 0,
+                hop_times: None,
+            },
+            ReplayMode::Priority | ReplayMode::Edf => SchedHeader {
+                slack: 0,
+                prio: rec.o.as_ps() as i64,
+                hop_times: None,
+            },
+            ReplayMode::Omniscient => SchedHeader {
+                slack: 0,
+                prio: 0,
+                hop_times: Some(Arc::from(rec.hop_tx_start.clone())),
+            },
+        };
+        topo.net.inject_on_path(
+            rec.i,
+            rec.flow,
+            rec.seq,
+            rec.size,
+            rec.src,
+            rec.dst,
+            Arc::clone(&rec.path),
+            hdr,
+            PacketKind::Data {
+                bytes: rec.size.saturating_sub(40),
+            },
+        );
+    }
+    topo.net.run_to_completion();
+
+    // Score: replay packet ids are assigned in injection order, which is
+    // exactly the recorded order.
+    let tel = &topo.net.telemetry;
+    assert_eq!(tel.counters.dropped, 0, "replay must be drop-free");
+    assert_eq!(tel.packets.len(), schedule.packets.len());
+    let max_size = schedule.packets.iter().map(|p| p.size).max().unwrap_or(1500);
+    let t = topo.net.bottleneck_bw().tx_time(max_size);
+
+    let mut lateness = Vec::with_capacity(schedule.packets.len());
+    let mut ratios = Vec::new();
+    let (mut overdue, mut overdue_gt_t) = (0usize, 0usize);
+    for (rec, rep) in schedule.packets.iter().zip(&tel.packets) {
+        let o_replay = rep.delivered.expect("replay packet undelivered");
+        let late = o_replay.signed_since(rec.o);
+        if late > OVERDUE_TOLERANCE_PS {
+            overdue += 1;
+            if late > t.as_i64() {
+                overdue_gt_t += 1;
+            }
+        }
+        lateness.push(late);
+        if rec.qdelay > Dur::ZERO {
+            ratios.push(rep.total_qdelay().as_ps() as f64 / rec.qdelay.as_ps() as f64);
+        }
+    }
+
+    ReplayReport {
+        mode,
+        total: schedule.packets.len(),
+        overdue,
+        overdue_gt_t,
+        t,
+        lateness,
+        qdelay_ratios: ratios,
+    }
+}
+
+/// Convenience wrapper: record under `original` and replay under `mode`,
+/// building the topology twice with `factory`.
+pub fn replay_experiment(
+    factory: impl Fn() -> Topology,
+    flows: &[FlowDesc],
+    original: SchedKind,
+    mode: ReplayMode,
+    seed: u64,
+    mtu: u32,
+) -> (RecordedSchedule, ReplayReport) {
+    let mut orig_topo = factory();
+    let schedule = record_original(&mut orig_topo, flows, original, seed, mtu);
+    drop(orig_topo);
+    let mut replay_topo = factory();
+    let report = replay_schedule(&mut replay_topo, &schedule, mode);
+    (schedule, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::FlowId;
+    use ups_sim::{Bandwidth, Time};
+    use ups_topo::simple::{dumbbell, star};
+
+    fn star_factory() -> Topology {
+        star(
+            6,
+            Bandwidth::gbps(1),
+            Dur::from_micros(5),
+            TraceLevel::Hops,
+        )
+    }
+
+    /// A small contended workload on the star: every other host sends a
+    /// paced burst toward host 0, so the hub's egress port to host 0 is
+    /// a genuine congestion point.
+    fn star_flows(topo: &Topology, pkts: u64) -> Vec<FlowDesc> {
+        topo.hosts[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &src)| FlowDesc {
+                id: FlowId(i as u64),
+                src,
+                dst: topo.hosts[0],
+                pkts,
+                start: Time::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_schedule_replays_perfectly_under_lstf_on_a_star() {
+        // Star ⇒ at most two congestion points per packet (source NIC and
+        // hub egress), so LSTF must replay FIFO perfectly (§2.2 theorem;
+        // non-preemptive suffices here because packet sizes are uniform
+        // and the workload is synchronized).
+        let flows = star_flows(&star_factory(), 5);
+        let (schedule, report) = replay_experiment(
+            star_factory,
+            &flows,
+            SchedKind::Fifo,
+            ReplayMode::lstf(),
+            1,
+            1500,
+        );
+        assert!(schedule.max_congestion_points() <= 2);
+        assert!(
+            report.perfect(),
+            "overdue {}/{} (max lateness {}ps)",
+            report.overdue,
+            report.total,
+            report.max_lateness()
+        );
+    }
+
+    #[test]
+    fn random_schedule_replays_perfectly_with_omniscient() {
+        let flows = star_flows(&star_factory(), 8);
+        let (_, report) = replay_experiment(
+            star_factory,
+            &flows,
+            SchedKind::Random,
+            ReplayMode::Omniscient,
+            7,
+            1500,
+        );
+        assert!(report.perfect(), "omniscient must be exact (Appendix B)");
+    }
+
+    #[test]
+    fn edf_and_lstf_produce_identical_replays() {
+        // Appendix E: EDF ≡ LSTF.
+        let flows = star_flows(&star_factory(), 6);
+        let mut t1 = star_factory();
+        let schedule = record_original(&mut t1, &flows, SchedKind::Random, 3, 1500);
+        let mut t2 = star_factory();
+        let lstf_rep = replay_schedule(&mut t2, &schedule, ReplayMode::lstf());
+        let mut t3 = star_factory();
+        let edf_rep = replay_schedule(&mut t3, &schedule, ReplayMode::Edf);
+        assert_eq!(lstf_rep.lateness, edf_rep.lateness);
+    }
+
+    #[test]
+    fn replay_of_lifo_on_dumbbell_mostly_meets_targets() {
+        let factory = || {
+            dumbbell(
+                4,
+                Bandwidth::gbps(10),
+                Bandwidth::gbps(1),
+                Dur::from_micros(5),
+                TraceLevel::Hops,
+            )
+        };
+        let topo = factory();
+        let flows: Vec<FlowDesc> = (0..4)
+            .map(|i| FlowDesc {
+                id: FlowId(i),
+                src: topo.hosts[i as usize],
+                dst: topo.hosts[4 + i as usize],
+                pkts: 20,
+                start: Time::from_micros(i * 3),
+            })
+            .collect();
+        let (schedule, report) =
+            replay_experiment(factory, &flows, SchedKind::Lifo, ReplayMode::lstf(), 1, 1500);
+        assert_eq!(report.total, 80);
+        assert!(schedule.mean_slack() > 0.0);
+        // LSTF replay of LIFO is approximate, but the overwhelming
+        // majority of packets must meet their targets at this tiny scale.
+        assert!(
+            report.frac_overdue() < 0.2,
+            "frac overdue {}",
+            report.frac_overdue()
+        );
+    }
+
+    #[test]
+    fn priority_replay_is_worse_than_lstf_on_shared_paths() {
+        // §2.3(7): simple priorities cannot compensate for early delays.
+        let factory = || {
+            dumbbell(
+                6,
+                Bandwidth::gbps(10),
+                Bandwidth::gbps(1),
+                Dur::from_micros(5),
+                TraceLevel::Hops,
+            )
+        };
+        let topo = factory();
+        let flows: Vec<FlowDesc> = (0..6)
+            .map(|i| FlowDesc {
+                id: FlowId(i),
+                src: topo.hosts[i as usize],
+                dst: topo.hosts[6 + (i as usize + 1) % 6],
+                pkts: 30,
+                start: Time::from_micros(i),
+            })
+            .collect();
+        let mut t1 = factory();
+        let schedule = record_original(&mut t1, &flows, SchedKind::Random, 11, 1500);
+        let mut t2 = factory();
+        let lstf_rep = replay_schedule(&mut t2, &schedule, ReplayMode::lstf());
+        let mut t3 = factory();
+        let prio_rep = replay_schedule(&mut t3, &schedule, ReplayMode::Priority);
+        assert!(
+            prio_rep.overdue >= lstf_rep.overdue,
+            "priority {} vs lstf {}",
+            prio_rep.overdue,
+            lstf_rep.overdue
+        );
+    }
+
+    #[test]
+    fn qdelay_ratios_are_collected() {
+        let flows = star_flows(&star_factory(), 6);
+        let (_, report) = replay_experiment(
+            star_factory,
+            &flows,
+            SchedKind::Random,
+            ReplayMode::lstf(),
+            5,
+            1500,
+        );
+        assert!(!report.qdelay_ratios.is_empty());
+        assert!(report.qdelay_ratios.iter().all(|&r| r >= 0.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Bridging workload generation (`ups-flowgen`) to transport flow
+//! descriptors, plus the standard experiment workloads.
+
+use ups_flowgen::{FlowSpec, PoissonConfig};
+use ups_sim::Dur;
+use ups_topo::Topology;
+use ups_transport::FlowDesc;
+
+/// Convert generated flow specs into transport flow descriptors.
+pub fn to_flow_descs(specs: &[FlowSpec]) -> Vec<FlowDesc> {
+    specs
+        .iter()
+        .map(|f| FlowDesc {
+            id: f.id,
+            src: f.src,
+            dst: f.dst,
+            pkts: f.pkts,
+            start: f.start,
+        })
+        .collect()
+}
+
+/// The paper's default replay workload: Poisson UDP flows with
+/// heavy-tailed sizes at `utilization` of the most-loaded core link,
+/// arriving over `horizon`.
+pub fn default_udp_workload(
+    topo: &Topology,
+    utilization: f64,
+    horizon: Dur,
+    seed: u64,
+) -> Vec<FlowDesc> {
+    let cfg = PoissonConfig {
+        utilization,
+        horizon,
+        seed,
+        ..Default::default()
+    };
+    to_flow_descs(&ups_flowgen::poisson_workload(topo, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::TraceLevel;
+    use ups_sim::Bandwidth;
+    use ups_topo::simple::dumbbell;
+
+    #[test]
+    fn workload_roundtrips_through_descs() {
+        let topo = dumbbell(
+            2,
+            Bandwidth::gbps(10),
+            Bandwidth::gbps(1),
+            Dur::from_micros(5),
+            TraceLevel::Off,
+        );
+        let flows = default_udp_workload(&topo, 0.5, Dur::from_millis(5), 3);
+        assert!(!flows.is_empty());
+        assert!(flows.iter().all(|f| f.src != f.dst && f.pkts >= 1));
+    }
+}

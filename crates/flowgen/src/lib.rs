@@ -1,0 +1,14 @@
+//! `ups-flowgen` — workload generation.
+//!
+//! Poisson flow arrivals with heavy-tailed sizes ([`SizeDist`]),
+//! calibrated so the most-loaded core link of a topology runs at a target
+//! utilization ([`calibrate_host_rate`]), plus the fixed long-lived-flow
+//! workload of the fairness experiment (§3.3).
+
+pub mod dist;
+pub mod workload;
+
+pub use dist::SizeDist;
+pub use workload::{
+    calibrate_host_rate, long_lived_flows, poisson_workload, FlowSpec, PoissonConfig,
+};

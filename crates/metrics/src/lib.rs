@@ -1,0 +1,10 @@
+//! `ups-metrics` — measurement utilities for the paper's evaluation:
+//! empirical CDFs/CCDFs and percentiles (Figures 1 and 3), flow-size
+//! bucketed means (Figure 2), Jain's fairness index over sliding windows
+//! (Figure 4), and summary statistics for the Table 1 reports.
+
+pub mod fairness;
+pub mod stats;
+
+pub use fairness::{jain_index, throughput_fairness_series, FairnessPoint};
+pub use stats::{bucket_means, percentile, Cdf, SizeBuckets, Summary};

@@ -1,0 +1,240 @@
+//! Distribution summaries: empirical CDF/CCDF, percentiles, bucketed
+//! means.
+
+/// An empirical distribution built from `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs rejected).
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "NaN sample in CDF input"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples > `x` (complementary CDF).
+    pub fn ccdf_at(&self, x: f64) -> f64 {
+        1.0 - self.at(x)
+    }
+
+    /// The `p`-quantile (0 ≤ p ≤ 1), nearest-rank.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced (x, F(x)) points for plotting/reporting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+/// Nearest-rank percentile of unsorted data (convenience).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    Cdf::new(samples.to_vec()).quantile(p / 100.0)
+}
+
+/// Five-number-ish summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize samples. Panics on empty input.
+    pub fn of(samples: &[f64]) -> Summary {
+        let cdf = Cdf::new(samples.to_vec());
+        Summary {
+            n: cdf.len(),
+            mean: cdf.mean(),
+            p50: cdf.quantile(0.50),
+            p99: cdf.quantile(0.99),
+            max: cdf.quantile(1.0),
+        }
+    }
+}
+
+/// Flow-size bucket boundaries for Figure 2 style reporting: bucket `i`
+/// holds flows with `size ≤ edges[i]` (sizes in packets), the last bucket
+/// is open-ended.
+#[derive(Debug, Clone)]
+pub struct SizeBuckets {
+    /// Upper edges, ascending.
+    pub edges: Vec<u64>,
+}
+
+impl SizeBuckets {
+    /// The paper's Figure 2 buckets (multiples of one MSS, then the tail),
+    /// expressed in packets.
+    pub fn paper_fig2() -> SizeBuckets {
+        SizeBuckets {
+            edges: vec![1, 2, 3, 5, 7, 40, 72, 200, 1_000, 10_000],
+        }
+    }
+
+    /// Index of the bucket for a flow of `pkts` packets.
+    pub fn index(&self, pkts: u64) -> usize {
+        self.edges
+            .iter()
+            .position(|&e| pkts <= e)
+            .unwrap_or(self.edges.len())
+    }
+
+    /// Number of buckets (edges + open tail).
+    pub fn count(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Label for bucket `i`.
+    pub fn label(&self, i: usize) -> String {
+        if i == 0 {
+            format!("<={}", self.edges[0])
+        } else if i < self.edges.len() {
+            format!("{}-{}", self.edges[i - 1] + 1, self.edges[i])
+        } else {
+            format!(">{}", self.edges[self.edges.len() - 1])
+        }
+    }
+}
+
+/// Mean of `values` grouped into `buckets` by `sizes` (parallel slices).
+/// Returns `(mean, count)` per bucket; empty buckets give `(0, 0)`.
+pub fn bucket_means(buckets: &SizeBuckets, sizes: &[u64], values: &[f64]) -> Vec<(f64, usize)> {
+    assert_eq!(sizes.len(), values.len());
+    let mut sum = vec![0f64; buckets.count()];
+    let mut cnt = vec![0usize; buckets.count()];
+    for (&s, &v) in sizes.iter().zip(values) {
+        let b = buckets.index(s);
+        sum[b] += v;
+        cnt[b] += 1;
+    }
+    sum.iter()
+        .zip(&cnt)
+        .map(|(&s, &c)| if c == 0 { (0.0, 0) } else { (s / c as f64, c) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_basic_properties() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(2.0), 0.5);
+        assert_eq!(c.at(10.0), 1.0);
+        assert_eq!(c.ccdf_at(3.0), 0.25);
+        assert_eq!(c.mean(), 2.5);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let c = Cdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(c.quantile(0.5), 50.0);
+        assert_eq!(c.quantile(0.99), 99.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let c = Cdf::new(vec![5.0, 1.0, 9.0, 3.0, 3.0]);
+        let pts = c.points(11);
+        assert!(pts.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn buckets_index_and_label() {
+        let b = SizeBuckets::paper_fig2();
+        assert_eq!(b.index(1), 0);
+        assert_eq!(b.index(2), 1);
+        assert_eq!(b.index(6), 4);
+        assert_eq!(b.index(1_000_000), b.count() - 1);
+        assert_eq!(b.label(0), "<=1");
+        assert!(b.label(b.count() - 1).starts_with('>'));
+    }
+
+    #[test]
+    fn bucket_means_group_correctly() {
+        let b = SizeBuckets {
+            edges: vec![10, 100],
+        };
+        let sizes = [5, 7, 50, 500];
+        let vals = [1.0, 3.0, 10.0, 100.0];
+        let m = bucket_means(&b, &sizes, &vals);
+        assert_eq!(m[0], (2.0, 2));
+        assert_eq!(m[1], (10.0, 1));
+        assert_eq!(m[2], (100.0, 1));
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Cdf::new(vec![1.0, f64::NAN]);
+    }
+}

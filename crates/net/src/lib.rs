@@ -1,0 +1,29 @@
+//! `ups-net` — the store-and-forward network model (the ns-2 substitute).
+//!
+//! A [`Network`] is a set of [`Node`]s connected by unidirectional
+//! [`Link`]s. Each link is an output port: a byte-accounted buffer ordered
+//! by a pluggable [`Scheduler`], plus a (by default non-preemptive)
+//! transmitter. Packets are source-routed along immutable [`Path`]s, which
+//! mirrors the paper's formal model where `path(p)` is part of the input.
+//!
+//! What this crate deliberately does **not** contain: scheduling
+//! algorithms beyond baseline FIFO (see `ups-sched`), topologies (see
+//! `ups-topo`), transport protocols (see `ups-transport`), and the
+//! replay/universality machinery (see `ups-core`).
+
+pub mod fifo;
+pub mod link;
+pub mod network;
+pub mod node;
+pub mod packet;
+pub mod scheduler;
+pub mod testutil;
+pub mod trace;
+
+pub use fifo::Fifo;
+pub use link::{Link, LinkStats, PortActions};
+pub use network::{App, Network};
+pub use node::{NextHop, Node, NodeKind};
+pub use packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketKind, Path, SchedHeader};
+pub use scheduler::{EvictOutcome, Queued, Scheduler};
+pub use trace::{Counters, HopTimes, PacketRecord, Telemetry, TraceLevel};

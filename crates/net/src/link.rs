@@ -1,0 +1,480 @@
+//! Unidirectional links and their output-port state machine.
+//!
+//! A [`Link`] models the paper's scheduling locus: an output port with one
+//! queue (ordered by a pluggable [`Scheduler`]), byte-accounted buffering,
+//! and a non-preemptive transmitter. The transmitter can optionally run in
+//! *preemptive* mode — a fluid approximation where an arriving, more
+//! urgent packet suspends the in-flight one, which later resumes
+//! transmitting only its remaining bytes. That mode exists solely for the
+//! preemptive-LSTF ablation of §2.3(5); the default matches the paper's
+//! non-preemptive simulations.
+//!
+//! The port also performs the LSTF dynamic-packet-state update: when a
+//! packet is picked for transmission, its header slack is decremented by
+//! the time it waited in this queue (§2.1).
+
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::scheduler::{EvictOutcome, Queued, Scheduler};
+use ups_sim::{Bandwidth, Dur, Time};
+
+/// Per-link counters (diagnostics and utilization accounting).
+#[derive(Debug, Default, Clone)]
+pub struct LinkStats {
+    /// Packets admitted to the queue.
+    pub enqueued: u64,
+    /// Packets dropped on buffer overflow (victim may be incoming or queued).
+    pub dropped: u64,
+    /// Transmissions completed.
+    pub tx_done: u64,
+    /// Bytes fully transmitted.
+    pub bytes_tx: u64,
+    /// Total time the transmitter was busy.
+    pub busy: Dur,
+    /// Transmissions preempted (preemptive mode only).
+    pub preemptions: u64,
+    /// High-water mark of queued packets.
+    pub max_queue_pkts: usize,
+}
+
+/// The packet currently being serialized onto the wire.
+#[derive(Debug)]
+struct InFlight {
+    q: Queued,
+    tx_start: Time,
+    tx_end: Time,
+    /// Urgency of the in-flight packet at start, for preemption decisions.
+    urgency: Option<i64>,
+}
+
+/// What the network must do after handing an event to a link.
+///
+/// Transmission starts are *deferred*: `admit`/`tx_done` never begin a
+/// new transmission themselves; they set `want_start` and the network
+/// schedules a `StartTx` event at the same instant in a later event
+/// class. That way every packet arriving at time `t` — including ones
+/// cascading through zero-time links — is queued before the port picks
+/// what to send at `t`, exactly as the formal model's schedulers see it.
+#[derive(Debug, Default)]
+pub struct PortActions {
+    /// The port is idle and has queued packets: schedule a `StartTx`.
+    pub want_start: bool,
+    /// Packets dropped by the buffer-overflow policy.
+    pub dropped: Vec<Packet>,
+    /// Packet whose transmission was fully completed (forward it).
+    pub completed: Option<Packet>,
+}
+
+/// A unidirectional link: `from`'s output port plus the wire to `to`.
+#[derive(Debug)]
+pub struct Link {
+    /// Dense id of this link.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Serialization rate.
+    pub bw: Bandwidth,
+    /// Propagation delay.
+    pub prop: Dur,
+    /// Buffer capacity in bytes; `None` is unbounded ("large buffer sizes
+    /// that ensure no packet drops", §2.3).
+    pub buffer: Option<u64>,
+    /// Whether an urgent arrival may suspend the in-flight transmission.
+    pub preemptive: bool,
+    sched: Box<dyn Scheduler>,
+    queued_bytes: u64,
+    arrival_seq: u64,
+    inflight: Option<InFlight>,
+    /// Generation counter; a stored `TxDone` event is valid only if its
+    /// generation matches (preemption invalidates scheduled completions).
+    tx_gen: u64,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    /// Create a link with a FIFO scheduler and unbounded buffer.
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, bw: Bandwidth, prop: Dur) -> Link {
+        Link {
+            id,
+            from,
+            to,
+            bw,
+            prop,
+            buffer: None,
+            preemptive: false,
+            sched: Box::new(crate::fifo::Fifo::new()),
+            queued_bytes: 0,
+            arrival_seq: 0,
+            inflight: None,
+            tx_gen: 0,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Replace the scheduler. Panics if packets are queued or in flight —
+    /// schedulers are installed at experiment setup, not mid-run.
+    pub fn set_scheduler(&mut self, sched: Box<dyn Scheduler>) {
+        assert!(
+            self.sched.is_empty() && self.inflight.is_none(),
+            "cannot swap scheduler on a busy link"
+        );
+        self.sched = sched;
+    }
+
+    /// Name of the installed scheduler.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
+    }
+
+    /// Packets currently queued (excluding any in flight).
+    pub fn queue_len(&self) -> usize {
+        self.sched.len()
+    }
+
+    /// Bytes currently queued (excluding any in flight).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// True if the transmitter is serializing a packet.
+    pub fn is_busy(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// A packet has fully arrived at this port and wants to be queued.
+    ///
+    /// Handles buffer admission (consulting the scheduler for a victim),
+    /// starts transmission if the port is idle, and preempts the in-flight
+    /// packet if this port is preemptive and the arrival is more urgent.
+    pub fn admit(&mut self, mut pkt: Packet, now: Time) -> PortActions {
+        let mut act = PortActions::default();
+        pkt.tx_left = None;
+        let q = self.make_queued(pkt, now);
+
+        // Buffer admission: evict strictly-worse packets until the arrival
+        // fits, or drop the arrival if the scheduler prefers to keep what
+        // it has (drop-tail default).
+        if let Some(cap) = self.buffer {
+            while self.queued_bytes + q.pkt.size as u64 > cap {
+                match self.sched.evict_for(&q) {
+                    EvictOutcome::Evicted(victim) => {
+                        self.queued_bytes -= victim.pkt.size as u64;
+                        self.stats.dropped += 1;
+                        act.dropped.push(victim.pkt);
+                    }
+                    EvictOutcome::DropIncoming => {
+                        self.stats.dropped += 1;
+                        act.dropped.push(q.pkt);
+                        return act;
+                    }
+                }
+            }
+        }
+
+        self.queued_bytes += q.pkt.size as u64;
+        self.stats.enqueued += 1;
+
+        // Preemption check (fluid model, ablation only). An arrival at
+        // exactly the in-flight packet's completion instant is processed
+        // before the completion event (arrivals settle first), so a
+        // transmission with no remaining wire time must not be
+        // "preempted" — it is already done.
+        if self.preemptive {
+            if let (Some(new_k), Some(fl)) = (self.sched.urgency(&q), self.inflight.as_ref()) {
+                if fl.tx_end > now {
+                    if let Some(cur_k) = fl.urgency {
+                        if new_k < cur_k {
+                            self.preempt(now);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.sched.enqueue(q);
+        self.stats.max_queue_pkts = self.stats.max_queue_pkts.max(self.sched.len());
+        act.want_start = self.inflight.is_none();
+        act
+    }
+
+    /// The `TxDone` event for generation `gen` fired. Returns the completed
+    /// packet (if the event is still valid) and possibly a new `TxDone`.
+    pub fn tx_done(&mut self, gen: u64, now: Time) -> PortActions {
+        let mut act = PortActions::default();
+        if gen != self.tx_gen {
+            return act; // stale completion from a preempted transmission
+        }
+        let fl = self
+            .inflight
+            .take()
+            .expect("TxDone with matching generation but no in-flight packet");
+        debug_assert_eq!(fl.tx_end, now, "TxDone fired at the wrong time");
+
+        let mut pkt = fl.q.pkt;
+        self.stats.tx_done += 1;
+        self.stats.bytes_tx += pkt.size as u64;
+        self.stats.busy += now - fl.tx_start;
+        pkt.hops_done += 1;
+        pkt.tx_left = None;
+        act.completed = Some(pkt);
+        act.want_start = !self.sched.is_empty();
+        act
+    }
+
+    /// Begin transmitting the scheduler's next packet if the port is
+    /// idle and packets are queued. Called from the network's deferred
+    /// `StartTx` event; redundant calls are no-ops.
+    /// Returns the `(tx_end, generation)` pair for the completion event.
+    pub fn try_start(&mut self, now: Time) -> Option<(Time, u64)> {
+        if self.inflight.is_some() {
+            return None;
+        }
+        let mut q = self.sched.dequeue()?;
+        self.queued_bytes -= q.pkt.size as u64;
+
+        // LSTF dynamic packet state: charge the queueing wait against the
+        // header slack. Harmless for schedulers that ignore the header.
+        let wait = now - q.enq_time;
+        q.pkt.hdr.slack -= wait.as_i64();
+        q.pkt.qdelay += wait;
+        // Restart the entry's wait clock: the (enq_time, slack) pair must
+        // stay consistent so the urgency computed below is the packet's
+        // true slack deadline. With the stale enq_time, a packet that
+        // waited long before starting service would have its deadline
+        // understated by exactly that wait, and arrivals that ought to
+        // preempt it would lose the comparison.
+        q.enq_time = now;
+
+        let tx_dur = match q.pkt.tx_left {
+            Some(left) => left,
+            None => {
+                // Fresh (non-resumed) transmission: this is the paper's
+                // per-hop scheduling time o(p, α).
+                q.pkt.hop_first_tx = now;
+                self.bw.tx_time(q.pkt.size)
+            }
+        };
+        let urgency = self.sched.urgency(&q);
+        let tx_end = now + tx_dur;
+        self.tx_gen += 1;
+        self.inflight = Some(InFlight {
+            q,
+            tx_start: now,
+            tx_end,
+            urgency,
+        });
+        Some((tx_end, self.tx_gen))
+    }
+
+    /// Suspend the in-flight transmission: the serialization time already
+    /// spent stays spent (fluid model); the packet re-queues with its
+    /// exact remaining wire time and waits again. Time-based tracking
+    /// means repeated preemption neither loses nor fabricates capacity.
+    fn preempt(&mut self, now: Time) {
+        let fl = self.inflight.take().expect("preempt with idle port");
+        debug_assert!(fl.tx_end > now, "preempting a finished transmission");
+        self.tx_gen += 1; // invalidate the scheduled TxDone
+        self.stats.preemptions += 1;
+        self.stats.busy += now - fl.tx_start;
+
+        let mut pkt = fl.q.pkt;
+        pkt.tx_left = Some(fl.tx_end - now);
+        // Re-queue: a fresh wait period begins now. Buffer accounting
+        // deliberately re-admits without a capacity check — a preempted
+        // packet is never dropped. The caller's `want_start` (set on the
+        // preempting arrival's admit) restarts the port.
+        let q = self.make_queued(pkt, now);
+        self.queued_bytes += q.pkt.size as u64;
+        self.sched.enqueue(q);
+    }
+
+    /// Wrap a packet in its queue entry, computing the static per-hop
+    /// quantities schedulers may key on.
+    fn make_queued(&mut self, pkt: Packet, now: Time) -> Queued {
+        let tx_dur = pkt.tx_left.unwrap_or_else(|| self.bw.tx_time(pkt.size));
+        let remaining_tmin = pkt.remaining_tmin();
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        Queued {
+            pkt,
+            enq_time: now,
+            tx_dur,
+            remaining_tmin,
+            arrival_seq: seq,
+        }
+    }
+
+    /// Utilization of this link over `elapsed` (busy fraction).
+    pub fn utilization(&self, elapsed: Dur) -> f64 {
+        if elapsed == Dur::ZERO {
+            return 0.0;
+        }
+        self.stats.busy.as_ps() as f64 / elapsed.as_ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketId, PacketKind, Path, SchedHeader};
+    use std::sync::Arc;
+
+    fn mk_link() -> Link {
+        Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            Bandwidth::gbps(1),
+            Dur::from_micros(5),
+        )
+    }
+
+    fn mk_pkt(id: u64, size: u32) -> Packet {
+        let path = Arc::new(Path {
+            links: vec![LinkId(0)].into(),
+            bw: vec![Bandwidth::gbps(1)].into(),
+            prop: vec![Dur::from_micros(5)].into(),
+        });
+        Packet {
+            id: PacketId(id),
+            flow: FlowId(0),
+            seq: id,
+            size,
+            tx_left: None,
+            src: NodeId(0),
+            dst: NodeId(1),
+            created: Time::ZERO,
+            path,
+            hops_done: 0,
+            hdr: SchedHeader::default(),
+            kind: PacketKind::Data { bytes: size },
+            qdelay: Dur::ZERO,
+            hop_arrive: Time::ZERO,
+            hop_first_tx: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn admit_requests_start_on_idle_port() {
+        let mut l = mk_link();
+        let act = l.admit(mk_pkt(0, 1500), Time::ZERO);
+        assert!(act.want_start, "idle port must request a start");
+        assert!(!l.is_busy());
+        let (end, gen) = l.try_start(Time::ZERO).expect("start");
+        assert_eq!(end, Time::from_micros(12)); // 1500B at 1Gbps
+        assert!(l.is_busy());
+        let done = l.tx_done(gen, end);
+        let pkt = done.completed.unwrap();
+        assert_eq!(pkt.hops_done, 1);
+        assert!(!done.want_start, "queue empty: no further start");
+        assert!(!l.is_busy());
+        assert_eq!(l.stats.tx_done, 1);
+    }
+
+    #[test]
+    fn redundant_start_requests_are_noops() {
+        let mut l = mk_link();
+        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        l.admit(mk_pkt(1, 1500), Time::ZERO);
+        assert!(l.try_start(Time::ZERO).is_some());
+        // Busy port: second deferred start does nothing.
+        assert!(l.try_start(Time::ZERO).is_none());
+        // Idle port with empty queue: also a no-op.
+        let mut empty = mk_link();
+        assert!(empty.try_start(Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn busy_port_queues_and_chains() {
+        let mut l = mk_link();
+        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        let (end0, gen0) = l.try_start(Time::ZERO).unwrap();
+        let b = l.admit(mk_pkt(1, 1500), Time::from_micros(1));
+        assert!(!b.want_start, "busy port must not request a start");
+        assert_eq!(l.queue_len(), 1);
+
+        let done = l.tx_done(gen0, end0);
+        assert!(done.want_start, "queued packet needs a start");
+        let (end1, _) = l.try_start(end0).unwrap();
+        assert_eq!(end1, Time::from_micros(24)); // back-to-back
+    }
+
+    #[test]
+    fn wait_is_charged_to_slack_and_qdelay() {
+        let mut l = mk_link();
+        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        let (end0, gen0) = l.try_start(Time::ZERO).unwrap();
+        l.admit(mk_pkt(1, 1500), Time::from_micros(2));
+        l.tx_done(gen0, end0);
+        // Second packet waited from 2us until 12us = 10us.
+        let (end1, gen1) = l.try_start(end0).unwrap();
+        let p = l.tx_done(gen1, end1).completed.unwrap();
+        assert_eq!(p.qdelay, Dur::from_micros(10));
+        assert_eq!(p.hdr.slack, -(Dur::from_micros(10).as_i64()));
+    }
+
+    #[test]
+    fn first_packet_has_zero_wait() {
+        let mut l = mk_link();
+        l.admit(mk_pkt(0, 1500), Time::from_micros(7));
+        let (end, gen) = l.try_start(Time::from_micros(7)).unwrap();
+        let p = l.tx_done(gen, end).completed.unwrap();
+        assert_eq!(p.qdelay, Dur::ZERO);
+        assert_eq!(p.hdr.slack, 0);
+    }
+
+    #[test]
+    fn drop_tail_on_overflow() {
+        let mut l = mk_link();
+        l.buffer = Some(3000); // room for two 1500B packets in queue
+        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        l.try_start(Time::ZERO).unwrap(); // packet 0 goes in flight
+        // Two fit in the buffer while one transmits...
+        assert!(l.admit(mk_pkt(1, 1500), Time::ZERO).dropped.is_empty());
+        assert!(l.admit(mk_pkt(2, 1500), Time::ZERO).dropped.is_empty());
+        // ...the fourth overflows and FIFO drops the arrival.
+        let act = l.admit(mk_pkt(3, 1500), Time::ZERO);
+        assert_eq!(act.dropped.len(), 1);
+        assert_eq!(act.dropped[0].id, PacketId(3));
+        assert_eq!(l.stats.dropped, 1);
+    }
+
+    #[test]
+    fn stale_tx_done_is_ignored() {
+        let mut l = mk_link();
+        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        let (_end, gen) = l.try_start(Time::ZERO).unwrap();
+        let stale = l.tx_done(gen + 17, Time::from_micros(1));
+        assert!(stale.completed.is_none());
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn zero_tx_time_on_infinite_bandwidth() {
+        let mut l = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            Bandwidth::INFINITE,
+            Dur::ZERO,
+        );
+        l.admit(mk_pkt(0, 1500), Time::from_micros(3));
+        let (end, gen) = l.try_start(Time::from_micros(3)).unwrap();
+        assert_eq!(end, Time::from_micros(3), "infinite bw serializes instantly");
+        let done = l.tx_done(gen, end);
+        assert!(done.completed.is_some());
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut l = mk_link();
+        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        let (end, gen) = l.try_start(Time::ZERO).unwrap();
+        l.tx_done(gen, end);
+        // Busy 12us out of 24us elapsed = 50%.
+        let u = l.utilization(Dur::from_micros(24));
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+}

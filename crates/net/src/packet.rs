@@ -1,0 +1,239 @@
+//! Packets and their scheduling headers.
+//!
+//! The paper's formal model fixes, for every packet `p`, its arrival time
+//! `i(p)`, its `path(p)`, and (for replay) the target output time `o(p)`.
+//! We mirror that exactly: packets are **source-routed** — each carries an
+//! immutable, shared [`Path`] — and carry a small scheduling header with
+//! the dynamic slack state used by LSTF plus a static priority field used
+//! by the other schedulers.
+
+use std::sync::Arc;
+use ups_sim::{Bandwidth, Dur, Time};
+
+/// Dense node identifier (index into `Network::nodes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Dense unidirectional-link identifier (index into `Network::links`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// Flow identifier; unique per five-tuple-equivalent in an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Globally unique packet identifier, assigned at injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+/// The fixed route of a packet: the ordered list of unidirectional links
+/// from its source host to its destination host, plus the per-hop static
+/// link properties needed to evaluate `tmin` suffixes (allowed UPS state:
+/// "static information about the network topology, link bandwidths, and
+/// propagation delays", §2.1 constraint 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Links in forwarding order; `links[k]` is taken at hop `k`.
+    pub links: Box<[LinkId]>,
+    /// Bandwidth of each link in `links`.
+    pub bw: Box<[Bandwidth]>,
+    /// Propagation delay of each link in `links`.
+    pub prop: Box<[Dur]>,
+}
+
+impl Path {
+    /// Number of hops (links) on the path.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `tmin` from the *input of hop `k`* to full arrival at the
+    /// destination, for a packet of `size` bytes: the sum over the
+    /// remaining links of (transmission time + propagation delay).
+    ///
+    /// This matches the paper's store-and-forward `tmin(p, α, dest)` —
+    /// it includes the transmission time at hop `k` itself.
+    pub fn tmin_from(&self, k: usize, size: u32) -> Dur {
+        let mut total = Dur::ZERO;
+        for i in k..self.links.len() {
+            total += self.bw[i].tx_time(size) + self.prop[i];
+        }
+        total
+    }
+
+    /// `tmin` over the whole path (ingress to egress), i.e. the
+    /// uncongested network transit time for a packet of `size` bytes.
+    pub fn tmin(&self, size: u32) -> Dur {
+        self.tmin_from(0, size)
+    }
+
+    /// The minimum-bandwidth (bottleneck) link on this path.
+    pub fn bottleneck(&self) -> Bandwidth {
+        self.bw
+            .iter()
+            .copied()
+            .min()
+            .expect("empty path has no bottleneck")
+    }
+}
+
+/// Transport-level payload classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Application data; `bytes` is the payload length (≤ wire size).
+    Data { bytes: u32 },
+    /// Cumulative TCP acknowledgement: "next expected" sequence in bytes.
+    Ack { cum_ack: u64 },
+}
+
+/// The scheduling header a packet carries through the network.
+///
+/// Only one of these fields is meaningful for a given scheduler, but a
+/// plain struct keeps the hot path free of enum matching:
+/// * `slack` — LSTF dynamic packet state, signed picoseconds. Initialized
+///   at the ingress, decremented by each router by the queueing delay the
+///   packet experienced there (§2.1).
+/// * `prio` — static priority for Priority/SJF/SRPT/EDF (lower = better).
+/// * `hop_times` — per-hop output times `o(p, α_k)` for the omniscient
+///   UPS of Appendix B.
+#[derive(Debug, Clone, Default)]
+pub struct SchedHeader {
+    /// Remaining slack in picoseconds; may go negative when overdue.
+    pub slack: i64,
+    /// Static priority value; lower is served first.
+    pub prio: i64,
+    /// Omniscient per-hop schedule (Appendix B); indexed by hop number.
+    pub hop_times: Option<Arc<[Time]>>,
+}
+
+/// A packet traversing the simulated network.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id, assigned by the network at injection.
+    pub id: PacketId,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Zero-based sequence number within the flow.
+    pub seq: u64,
+    /// Wire size in bytes (headers + payload).
+    pub size: u32,
+    /// Remaining serialization time at the current hop, set only while a
+    /// *preempted* transmission is suspended (fluid model used for the
+    /// preemptive-LSTF ablation, §2.3(5)). `None` = not yet started here.
+    /// Tracked as exact time, not bytes, so preemption never loses or
+    /// fabricates link capacity.
+    pub tx_left: Option<Dur>,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Injection time at the source, `i(p)`.
+    pub created: Time,
+    /// Fixed route.
+    pub path: Arc<Path>,
+    /// Hops already fully traversed; indexes into `path.links`.
+    pub hops_done: u16,
+    /// Scheduling header.
+    pub hdr: SchedHeader,
+    /// Transport classification.
+    pub kind: PacketKind,
+    /// Total queueing delay accumulated so far (diagnostics + FIFO+).
+    pub qdelay: Dur,
+    /// Transient per-hop bookkeeping: full arrival time at the current
+    /// hop's port (set by the network on arrival).
+    pub hop_arrive: Time,
+    /// Transient per-hop bookkeeping: first transmission start at the
+    /// current hop — the paper's scheduling time `o(p, α)`.
+    pub hop_first_tx: Time,
+}
+
+impl Packet {
+    /// The link this packet takes next, or `None` if it has arrived.
+    pub fn next_link(&self) -> Option<LinkId> {
+        self.path.links.get(self.hops_done as usize).copied()
+    }
+
+    /// True once the packet has traversed its full path.
+    pub fn at_destination(&self) -> bool {
+        self.hops_done as usize >= self.path.hops()
+    }
+
+    /// `tmin` from the current hop to the destination for this packet.
+    pub fn remaining_tmin(&self) -> Dur {
+        self.path.tmin_from(self.hops_done as usize, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Path {
+        Path {
+            links: vec![LinkId(0), LinkId(1), LinkId(2)].into(),
+            bw: vec![
+                Bandwidth::gbps(10),
+                Bandwidth::gbps(1),
+                Bandwidth::gbps(10),
+            ]
+            .into(),
+            prop: vec![
+                Dur::from_micros(10),
+                Dur::from_micros(20),
+                Dur::from_micros(10),
+            ]
+            .into(),
+        }
+    }
+
+    #[test]
+    fn tmin_sums_tx_and_prop() {
+        let p = path3();
+        // 1500B: 1.2us + 12us + 1.2us tx, 40us prop.
+        let want = Dur::from_nanos(1200 + 12000 + 1200) + Dur::from_micros(40);
+        assert_eq!(p.tmin(1500), want);
+    }
+
+    #[test]
+    fn tmin_from_is_a_suffix() {
+        let p = path3();
+        let full = p.tmin(1500);
+        let hop0 = Bandwidth::gbps(10).tx_time(1500) + Dur::from_micros(10);
+        assert_eq!(p.tmin_from(1, 1500), full - hop0);
+        assert_eq!(p.tmin_from(3, 1500), Dur::ZERO);
+    }
+
+    #[test]
+    fn bottleneck_is_min_bandwidth() {
+        assert_eq!(path3().bottleneck(), Bandwidth::gbps(1));
+    }
+
+    #[test]
+    fn packet_hop_progression() {
+        let mut pkt = Packet {
+            id: PacketId(0),
+            flow: FlowId(0),
+            seq: 0,
+            size: 1500,
+            tx_left: None,
+            src: NodeId(0),
+            dst: NodeId(3),
+            created: Time::ZERO,
+            path: Arc::new(path3()),
+            hops_done: 0,
+            hdr: SchedHeader::default(),
+            kind: PacketKind::Data { bytes: 1460 },
+            qdelay: Dur::ZERO,
+            hop_arrive: Time::ZERO,
+            hop_first_tx: Time::ZERO,
+        };
+        assert_eq!(pkt.next_link(), Some(LinkId(0)));
+        pkt.hops_done = 2;
+        assert_eq!(pkt.next_link(), Some(LinkId(2)));
+        assert!(!pkt.at_destination());
+        pkt.hops_done = 3;
+        assert_eq!(pkt.next_link(), None);
+        assert!(pkt.at_destination());
+        assert_eq!(pkt.remaining_tmin(), Dur::ZERO);
+    }
+}

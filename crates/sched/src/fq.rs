@@ -1,0 +1,195 @@
+//! Fair Queuing (Demers–Keshav–Shenker \[12\]).
+//!
+//! Packet-level emulation of bit-by-bit round robin via finish tags, using
+//! the self-clocked virtual time of SCFQ (Golestani): the virtual time is
+//! the finish tag of the packet most recently chosen for service. On
+//! arrival, a packet of flow `f` with `L` bits gets
+//! `F = max(V, F_last[f]) + L / w_f`, and the smallest finish tag is
+//! served first (FCFS among equal tags). This approximates DKS fair
+//! queuing to within one packet per flow — the same fidelity ns-2's FQ
+//! module provides — and supports per-flow weights.
+//!
+//! Tags are in "virtual bit-times" scaled by 256 to give integer
+//! precision for fractional weights.
+
+use ups_net::scheduler::{EvictOutcome, Queued, Scheduler};
+use ups_net::FlowId;
+use std::collections::{BTreeMap, HashMap};
+
+const WEIGHT_SCALE: u64 = 256;
+
+/// Self-clocked fair-queuing scheduler.
+#[derive(Debug)]
+pub struct Fq {
+    /// Queued packets ordered by (finish tag, arrival seq).
+    q: BTreeMap<(u64, u64), Queued>,
+    /// Last finish tag assigned per flow.
+    last_finish: HashMap<FlowId, u64>,
+    /// Current virtual time = tag of the packet last selected for service.
+    vtime: u64,
+    /// Per-flow weight numerators (default 1.0); missing = 1.0.
+    weights: HashMap<FlowId, f64>,
+}
+
+impl Default for Fq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fq {
+    /// Create an FQ scheduler with unit weights.
+    pub fn new() -> Fq {
+        Fq {
+            q: BTreeMap::new(),
+            last_finish: HashMap::new(),
+            vtime: 0,
+            weights: HashMap::new(),
+        }
+    }
+
+    /// Assign a weight to a flow (weighted fair queuing). Must be > 0.
+    pub fn set_weight(&mut self, flow: FlowId, w: f64) {
+        assert!(w > 0.0, "non-positive FQ weight");
+        self.weights.insert(flow, w);
+    }
+
+    fn finish_tag(&self, q: &Queued) -> u64 {
+        let w = self.weights.get(&q.pkt.flow).copied().unwrap_or(1.0);
+        let bits = q.pkt.size as u64 * 8;
+        let cost = ((bits * WEIGHT_SCALE) as f64 / w).round() as u64;
+        let start = self
+            .last_finish
+            .get(&q.pkt.flow)
+            .copied()
+            .unwrap_or(0)
+            .max(self.vtime);
+        start + cost.max(1)
+    }
+}
+
+impl Scheduler for Fq {
+    fn name(&self) -> &'static str {
+        "FQ"
+    }
+
+    fn enqueue(&mut self, q: Queued) {
+        let tag = self.finish_tag(&q);
+        self.last_finish.insert(q.pkt.flow, tag);
+        self.q.insert((tag, q.arrival_seq), q);
+    }
+
+    fn dequeue(&mut self) -> Option<Queued> {
+        let ((tag, _), q) = self.q.pop_first()?;
+        self.vtime = tag;
+        Some(q)
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn evict_for(&mut self, incoming: &Queued) -> EvictOutcome {
+        // Drop the packet with the largest finish tag — the one furthest
+        // past its fair share — if it is worse than the arrival would be.
+        let incoming_tag = self.finish_tag(incoming);
+        match self.q.last_key_value() {
+            Some((&(worst, _), _)) if worst > incoming_tag => {
+                let (_, victim) = self.q.pop_last().expect("non-empty");
+                EvictOutcome::Evicted(victim)
+            }
+            _ => EvictOutcome::DropIncoming,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::testutil::queued_flow;
+
+    /// Drain the scheduler, returning flow ids in service order.
+    fn drain(s: &mut Fq) -> Vec<u64> {
+        std::iter::from_fn(|| s.dequeue())
+            .map(|q| q.pkt.flow.0)
+            .collect()
+    }
+
+    #[test]
+    fn interleaves_two_backlogged_flows() {
+        let mut s = Fq::new();
+        // Flow 0 dumps 4 packets, then flow 1 dumps 4 packets, all while
+        // the port is busy. FQ must interleave them, not serve 0000 1111.
+        let mut seq = 0;
+        for _ in 0..4 {
+            s.enqueue(queued_flow(0, 0, 0, seq));
+            seq += 1;
+        }
+        for _ in 0..4 {
+            s.enqueue(queued_flow(1, 0, 1, seq));
+            seq += 1;
+        }
+        let order = drain(&mut s);
+        // First packet of flow 1 must be served before the last packet of
+        // flow 0 (strict interleaving after the first round).
+        let first1 = order.iter().position(|&f| f == 1).unwrap();
+        let last0 = order.iter().rposition(|&f| f == 0).unwrap();
+        assert!(
+            first1 < last0,
+            "no interleaving: {order:?}"
+        );
+        // Equal split overall.
+        assert_eq!(order.iter().filter(|&&f| f == 0).count(), 4);
+    }
+
+    #[test]
+    fn single_flow_stays_fifo() {
+        let mut s = Fq::new();
+        for seq in 0..6 {
+            s.enqueue(queued_flow(7, 0, seq, seq));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| s.dequeue())
+            .map(|q| q.pkt.seq)
+            .collect();
+        assert_eq!(seqs, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_flow_gets_proportional_share() {
+        let mut s = Fq::new();
+        s.set_weight(FlowId(0), 2.0);
+        s.set_weight(FlowId(1), 1.0);
+        let mut seq = 0;
+        for _ in 0..6 {
+            s.enqueue(queued_flow(0, 0, 0, seq));
+            seq += 1;
+        }
+        for _ in 0..3 {
+            s.enqueue(queued_flow(1, 0, 0, seq));
+            seq += 1;
+        }
+        // In the first 6 services, flow 0 (weight 2) should get ~4.
+        let order = drain(&mut s);
+        let f0_in_first6 = order[..6].iter().filter(|&&f| f == 0).count();
+        assert!(f0_in_first6 >= 4, "weights ignored: {order:?}");
+    }
+
+    #[test]
+    fn idle_flow_gets_no_credit_hoard() {
+        let mut s = Fq::new();
+        // Flow 0 is served alone for a while (vtime advances)...
+        for seq in 0..3 {
+            s.enqueue(queued_flow(0, 0, seq, seq));
+        }
+        drain(&mut s);
+        // ...then flow 1 arrives. Its start tag must be >= current vtime,
+        // i.e. it cannot claim the bandwidth it never used.
+        s.enqueue(queued_flow(1, 0, 100, 10));
+        s.enqueue(queued_flow(0, 0, 100, 11));
+        let order = drain(&mut s);
+        // Both flows start fresh at vtime: interleaved fairly (FCFS on tag
+        // ties -> flow 1 first since it was enqueued first here).
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Last-in-first-out scheduling — one of the paper's stress-test original
+//! schedules (Table 1). LIFO produces a large skew in the slack
+//! distribution, which is exactly why its LSTF replay is among the hardest.
+
+use ups_net::scheduler::{Queued, Scheduler};
+
+/// LIFO stack scheduler (drop-tail on overflow).
+#[derive(Debug, Default)]
+pub struct Lifo {
+    stack: Vec<Queued>,
+}
+
+impl Lifo {
+    /// Create an empty LIFO scheduler.
+    pub fn new() -> Lifo {
+        Lifo::default()
+    }
+}
+
+impl Scheduler for Lifo {
+    fn name(&self) -> &'static str {
+        "LIFO"
+    }
+
+    fn enqueue(&mut self, q: Queued) {
+        self.stack.push(q);
+    }
+
+    fn dequeue(&mut self) -> Option<Queued> {
+        self.stack.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::testutil::queued_slack;
+
+    #[test]
+    fn newest_first() {
+        let mut s = Lifo::new();
+        for seq in 0..4 {
+            s.enqueue(queued_slack(0, seq, seq));
+        }
+        for seq in (0..4).rev() {
+            assert_eq!(s.dequeue().unwrap().pkt.seq, seq);
+        }
+        assert!(s.dequeue().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut s = Lifo::new();
+        s.enqueue(queued_slack(0, 0, 0));
+        s.enqueue(queued_slack(0, 1, 1));
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 1);
+        s.enqueue(queued_slack(0, 2, 2));
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 2);
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Least Slack Time First — the paper's near-universal scheduler (§2.1).
+//!
+//! Each packet carries its remaining slack in the header (dynamic packet
+//! state); the port charges queueing waits against it on forward. This
+//! scheduler serves the packet whose remaining slack — measured for its
+//! last bit, per Appendix D — is smallest, i.e. the packet with the
+//! earliest *slack deadline* `enq_time + slack + tx_dur`. Because every
+//! queued packet's slack drains at the same unit rate, the deadline order
+//! is time-invariant, so "least remaining slack now" and "least remaining
+//! slack when its last bit is transmitted" both reduce to EDF on this
+//! deadline (Appendix E); ties break FCFS (footnote 14).
+//!
+//! On buffer overflow the packet with the *most* slack is dropped (§3).
+
+use crate::keyed::{KeyPolicy, Keyed};
+use ups_net::scheduler::Queued;
+
+/// Which deadline formula orders the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LstfKeyMode {
+    /// `enq + slack + tx_dur`: the last-bit slack of Appendix D (default;
+    /// equals the paper's formal LSTF and its EDF equivalent).
+    #[default]
+    LastBit,
+    /// `enq + slack`: ignores local transmission time. With uniform packet
+    /// sizes this is the same order; with mixed sizes it slightly favours
+    /// large packets. Kept as an ablation knob.
+    PureDeadline,
+}
+
+/// Key policy for LSTF.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LstfPolicy {
+    /// Deadline formula.
+    pub mode: LstfKeyMode,
+}
+
+impl KeyPolicy for LstfPolicy {
+    fn name(&self) -> &'static str {
+        "LSTF"
+    }
+    fn key(&self, q: &Queued) -> i64 {
+        match self.mode {
+            LstfKeyMode::LastBit => q.slack_deadline(),
+            LstfKeyMode::PureDeadline => q.enq_time.as_ps() as i64 + q.pkt.hdr.slack,
+        }
+    }
+    fn preemptible(&self) -> bool {
+        true
+    }
+}
+
+/// Least Slack Time First scheduler.
+pub type Lstf = Keyed<LstfPolicy>;
+
+/// Non-preemptive LSTF with the paper's last-bit deadline.
+pub fn lstf() -> Lstf {
+    Keyed::new(LstfPolicy::default())
+}
+
+/// LSTF with an explicit key mode.
+pub fn lstf_with(mode: LstfKeyMode) -> Lstf {
+    Keyed::new(LstfPolicy { mode })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::scheduler::{EvictOutcome, Scheduler};
+    use ups_net::testutil::queued_slack;
+
+    #[test]
+    fn least_slack_served_first() {
+        let mut s = lstf();
+        s.enqueue(queued_slack(5_000_000, 0, 0)); // 5us slack
+        s.enqueue(queued_slack(1_000_000, 0, 1)); // 1us slack
+        s.enqueue(queued_slack(9_000_000, 0, 2));
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 1);
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 0);
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 2);
+    }
+
+    #[test]
+    fn later_arrival_with_less_slack_wins() {
+        // A packet that arrives later but with much less slack overtakes.
+        let mut s = lstf();
+        s.enqueue(queued_slack(50_000_000, 0, 0)); // t=0, 50us
+        s.enqueue(queued_slack(1_000_000, 40_000, 1)); // t=40us, 1us
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 1);
+    }
+
+    #[test]
+    fn equal_deadlines_break_fcfs() {
+        let mut s = lstf();
+        // Same deadline: slack compensates the later arrival.
+        s.enqueue(queued_slack(10_000_000, 0, 0));
+        s.enqueue(queued_slack(9_000_000, 1_000, 1)); // 1us later, 1us less
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 0, "FCFS on ties");
+    }
+
+    #[test]
+    fn negative_slack_is_most_urgent() {
+        let mut s = lstf();
+        s.enqueue(queued_slack(0, 0, 0));
+        s.enqueue(queued_slack(-3_000_000, 0, 1)); // overdue packet
+        assert_eq!(s.dequeue().unwrap().pkt.seq, 1);
+    }
+
+    #[test]
+    fn overflow_drops_highest_slack() {
+        let mut s = lstf();
+        s.enqueue(queued_slack(1_000, 0, 0));
+        s.enqueue(queued_slack(800_000_000, 0, 1)); // huge slack
+        let incoming = queued_slack(500, 1, 2);
+        match s.evict_for(&incoming) {
+            EvictOutcome::Evicted(v) => assert_eq!(v.pkt.seq, 1),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn urgency_enables_preemption() {
+        let s = lstf();
+        let q = queued_slack(1_000, 0, 0);
+        assert_eq!(s.urgency(&q), Some(q.slack_deadline()));
+    }
+
+    #[test]
+    fn pure_deadline_mode_drops_tx_term() {
+        let s = lstf_with(LstfKeyMode::PureDeadline);
+        let q = queued_slack(1_000, 2, 0);
+        assert_eq!(s.urgency(&q), Some(2_000 + 1_000));
+    }
+}

@@ -1,0 +1,80 @@
+//! Static priority scheduling.
+//!
+//! "Simple priority scheduling is where the ingress assigns priority
+//! values to the packets and the routers simply schedule packets based on
+//! these static priority values" (§2.2, footnote 4). The header's `prio`
+//! field is set once at the ingress and never modified.
+//!
+//! Two users in this reproduction:
+//! * the Priority-replay comparison of §2.3(7), with `prio = o(p)`;
+//! * SJF (shortest job first, §3.1 / Table 1), with `prio = flow size`.
+
+use crate::keyed::{KeyPolicy, Keyed};
+use ups_net::scheduler::Queued;
+
+/// Key policy: serve the numerically smallest static priority first.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticPrioPolicy {
+    name: &'static str,
+}
+
+impl KeyPolicy for StaticPrioPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn key(&self, q: &Queued) -> i64 {
+        q.pkt.hdr.prio
+    }
+    fn preemptible(&self) -> bool {
+        true
+    }
+}
+
+/// Static priority scheduler.
+pub type StaticPriority = Keyed<StaticPrioPolicy>;
+
+/// Priority scheduler labelled "Priority" (replay comparison).
+pub fn priority() -> StaticPriority {
+    Keyed::new(StaticPrioPolicy { name: "Priority" })
+}
+
+/// Priority scheduler labelled "SJF" (ingress stamps `prio = flow size`).
+pub fn sjf() -> StaticPriority {
+    Keyed::new(StaticPrioPolicy { name: "SJF" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::scheduler::Scheduler;
+    use ups_net::testutil::queued_prio;
+
+    #[test]
+    fn smallest_priority_value_first() {
+        let mut s = priority();
+        s.enqueue(queued_prio(500, 0, 0));
+        s.enqueue(queued_prio(100, 1, 1));
+        s.enqueue(queued_prio(300, 2, 2));
+        let order: Vec<i64> = std::iter::from_fn(|| s.dequeue())
+            .map(|q| q.pkt.hdr.prio)
+            .collect();
+        assert_eq!(order, vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn same_priority_is_fcfs() {
+        let mut s = sjf();
+        for seq in 0..5 {
+            s.enqueue(queued_prio(42, seq, seq));
+        }
+        for seq in 0..5 {
+            assert_eq!(s.dequeue().unwrap().arrival_seq, seq);
+        }
+    }
+
+    #[test]
+    fn names_distinguish_users() {
+        assert_eq!(priority().name(), "Priority");
+        assert_eq!(sjf().name(), "SJF");
+    }
+}

@@ -1,0 +1,19 @@
+//! `ups-sim` — deterministic discrete-event simulation primitives.
+//!
+//! This crate is the bottom layer of the Universal Packet Scheduling
+//! reproduction: an integer-picosecond clock ([`Time`], [`Dur`],
+//! [`Bandwidth`]), a deterministic future-event list ([`EventQueue`]) with
+//! FIFO tie-breaking, and a portable seeded RNG ([`DetRng`]).
+//!
+//! Design goals (in the spirit of event-driven stacks like smoltcp):
+//! *simplicity and robustness* — no clever type tricks, no floating point on
+//! any path that feeds a replay comparison, and bit-for-bit reproducible
+//! runs from a seed.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::DetRng;
+pub use time::{Bandwidth, Dur, Time, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};

@@ -1,0 +1,214 @@
+//! Deterministic future-event list.
+//!
+//! A binary min-heap keyed by `(time, class, sequence)`:
+//!
+//! * events at the same instant pop in ascending **class** — the network
+//!   layer uses this to settle all packet arrivals (and cascaded
+//!   zero-time forwarding) before any transmission-start decision at
+//!   that instant, matching the formal model where a scheduler choosing
+//!   at time `t` sees every packet that has arrived by `t`;
+//! * within a class, insertion order (FIFO) breaks ties, which makes the
+//!   whole simulation deterministic regardless of heap internals.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: Time,
+    class: u8,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Key,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A future-event list with class-then-FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    /// Time of the most recently popped event; pushes earlier than this
+    /// are a logic error (events may not be scheduled in the past).
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue positioned at t = 0.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Schedule `event` at `time` in ordering class `class` (lower pops
+    /// first among same-time events). Panics if `time` is in the past.
+    pub fn push(&mut self, time: Time, class: u8, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time} < now {}",
+            self.now
+        );
+        let key = Key {
+            time,
+            class,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { key, event }));
+    }
+
+    /// Pop the earliest event, advancing the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.key.time;
+        Some((entry.key.time, entry.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.key.time)
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(30), 0, "c");
+        q.push(Time::from_nanos(10), 0, "a");
+        q.push(Time::from_nanos(20), 0, "b");
+        assert_eq!(q.pop(), Some((Time::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((Time::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((Time::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo_within_class() {
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(1);
+        for i in 0..100 {
+            q.push(t, 0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn class_orders_same_time_events() {
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(5);
+        q.push(t, 3, "start-tx");
+        q.push(t, 0, "arrive-1");
+        q.push(t, 2, "tx-done");
+        q.push(t, 0, "arrive-2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["arrive-1", "arrive-2", "tx-done", "start-tx"]);
+    }
+
+    #[test]
+    fn late_push_of_lower_class_still_pops_first() {
+        // A zero-duration transmission pushes its TxDone (class 2) while
+        // StartTx events (class 3) are already pending at the same time:
+        // the TxDone must still pop first.
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(1);
+        q.push(t, 3, "start-a");
+        q.push(t, 3, "start-b");
+        assert_eq!(q.pop(), Some((t, "start-a")));
+        q.push(t, 2, "done-a");
+        assert_eq!(q.pop(), Some((t, "done-a")));
+        assert_eq!(q.pop(), Some((t, "start-b")));
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(5), 0, ());
+        q.push(Time::from_nanos(9), 0, ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_nanos(5));
+        // Scheduling at exactly "now" is allowed.
+        q.push(q.now(), 0, ());
+        assert_eq!(q.pop().unwrap().0, Time::from_nanos(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(10), 0, ());
+        q.pop();
+        q.push(Time::from_micros(10) - Dur::from_nanos(1), 0, ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(1), 0, 1u32);
+        q.push(Time::from_nanos(100), 0, 100);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Time::from_nanos(50), 0, 50);
+        q.push(Time::from_nanos(75), 0, 75);
+        assert_eq!(q.pop().unwrap().1, 50);
+        assert_eq!(q.pop().unwrap().1, 75);
+        assert_eq!(q.pop().unwrap().1, 100);
+        assert_eq!(q.scheduled_total(), 4);
+    }
+}

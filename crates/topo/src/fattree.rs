@@ -1,0 +1,163 @@
+//! k-ary full-bisection-bandwidth fat-tree (the pFabric datacenter
+//! topology of §2.3 Table 1 row 4 and the FCT experiments' heritage \[3\]).
+//!
+//! Standard Al-Fares construction: `k` pods, each with `k/2` edge and
+//! `k/2` aggregation switches; `(k/2)²` core switches; `k³/4` hosts; every
+//! link 10 Gbps. All inter-tier links have equal cost, so the Dijkstra
+//! ECMP sets in `ups-net` fan flows across the `(k/2)²` core paths by
+//! flow hash, as real datacenters do.
+
+use crate::Topology;
+use ups_net::{Network, TraceLevel};
+use ups_sim::{Bandwidth, Dur};
+
+/// Parameters for the fat-tree build.
+#[derive(Debug, Clone)]
+pub struct FatTreeConfig {
+    /// Pod arity; must be even. k=4 → 16 hosts, k=8 → 128 hosts.
+    pub k: usize,
+    /// Uniform link bandwidth (paper: 10 Gbps).
+    pub bw: Bandwidth,
+    /// Uniform link propagation delay (intra-DC: small).
+    pub prop: Dur,
+}
+
+impl Default for FatTreeConfig {
+    fn default() -> Self {
+        FatTreeConfig {
+            k: 8,
+            bw: Bandwidth::gbps(10),
+            prop: Dur::from_nanos(500),
+        }
+    }
+}
+
+/// Build the fat-tree.
+pub fn build(cfg: &FatTreeConfig, level: TraceLevel) -> Topology {
+    assert!(cfg.k >= 2 && cfg.k % 2 == 0, "fat-tree k must be even");
+    let k = cfg.k;
+    let half = k / 2;
+    let mut net = Network::new(level);
+
+    // Core switches: (k/2)^2, indexed (i, j).
+    let cores: Vec<_> = (0..half * half)
+        .map(|i| net.add_router(format!("dc-core:{i}")))
+        .collect();
+
+    let mut core_links = Vec::new();
+    let mut access_links = Vec::new();
+    let mut host_links = Vec::new();
+    let mut hosts = Vec::new();
+
+    for pod in 0..k {
+        let aggs: Vec<_> = (0..half)
+            .map(|a| net.add_router(format!("agg:{pod}.{a}")))
+            .collect();
+        let edges: Vec<_> = (0..half)
+            .map(|e| net.add_router(format!("tor:{pod}.{e}")))
+            .collect();
+
+        // Aggregation i connects to core switches [i*half, (i+1)*half).
+        for (i, &agg) in aggs.iter().enumerate() {
+            for j in 0..half {
+                let (l1, l2) = net.add_duplex(agg, cores[i * half + j], cfg.bw, cfg.prop);
+                core_links.push(l1);
+                core_links.push(l2);
+            }
+        }
+        // Full bipartite agg <-> edge inside the pod.
+        for &agg in &aggs {
+            for &edge in &edges {
+                let (l1, l2) = net.add_duplex(edge, agg, cfg.bw, cfg.prop);
+                access_links.push(l1);
+                access_links.push(l2);
+            }
+        }
+        // k/2 hosts per edge switch.
+        for (e, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let host = net.add_host(format!("dchost:{pod}.{e}.{h}"));
+                let (l1, l2) = net.add_duplex(host, edge, cfg.bw, cfg.prop);
+                host_links.push(l1);
+                host_links.push(l2);
+                hosts.push(host);
+            }
+        }
+    }
+
+    net.compute_routes();
+    let topo = Topology {
+        net,
+        name: format!("FatTree(k={k})"),
+        hosts,
+        core_links,
+        access_links,
+        host_links,
+    };
+    topo.validate();
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::FlowId;
+
+    fn k4() -> Topology {
+        build(
+            &FatTreeConfig {
+                k: 4,
+                ..Default::default()
+            },
+            TraceLevel::Off,
+        )
+    }
+
+    #[test]
+    fn k4_has_canonical_counts() {
+        let t = k4();
+        assert_eq!(t.hosts.len(), 16); // k^3/4
+        // Switches: 4 core + 8 agg + 8 edge = 20.
+        let routers = t.net.nodes.iter().filter(|n| !n.is_host()).count();
+        assert_eq!(routers, 20);
+    }
+
+    #[test]
+    fn intra_pod_paths_avoid_core() {
+        let t = k4();
+        // Hosts 0 and 1 share a ToR: 2 hops.
+        let p = t.net.resolve_path(t.hosts[0], t.hosts[1], FlowId(0));
+        assert_eq!(p.hops(), 2);
+        // Hosts 0 and 2 share a pod but not a ToR: 4 hops (via agg).
+        let p = t.net.resolve_path(t.hosts[0], t.hosts[2], FlowId(0));
+        assert_eq!(p.hops(), 4);
+    }
+
+    #[test]
+    fn inter_pod_paths_use_core_with_ecmp_spread() {
+        let t = k4();
+        // Hosts in different pods: 6 hops via core.
+        let mut used_cores = std::collections::HashSet::new();
+        for f in 0..64 {
+            let p = t.net.resolve_path(t.hosts[0], t.hosts[8], FlowId(f));
+            assert_eq!(p.hops(), 6);
+            // Middle link's endpoint is the core switch.
+            let mid = p.links[2];
+            used_cores.insert(t.net.links[mid.0 as usize].from);
+        }
+        assert!(
+            used_cores.len() >= 2,
+            "ECMP not spreading across cores: {used_cores:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_10g_means_t_is_1_2us() {
+        let t = k4();
+        assert_eq!(t.bottleneck_core_bw(), Bandwidth::gbps(10));
+        assert_eq!(
+            t.bottleneck_core_bw().tx_time(1500),
+            Dur::from_nanos(1200)
+        );
+    }
+}

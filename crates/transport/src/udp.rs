@@ -1,0 +1,134 @@
+//! Open-loop UDP injection.
+//!
+//! The replay experiments (§2.3) use UDP flows so the offered load is
+//! identical between the original run and the replay. A host transmits a
+//! flow's packets back-to-back at its NIC line rate, so packet `k`
+//! reaches the wire one serialization time after packet `k−1` — this is
+//! the endhost pacing the paper leans on ("packets are paced by the
+//! endhost link"), and it makes `i(p)` reflect the paced send time
+//! rather than a single burst instant, so replay slacks measure genuine
+//! cross-traffic queueing.
+
+use crate::flow::FlowDesc;
+use crate::header::HeaderStamper;
+use std::sync::Arc;
+use ups_net::{Network, PacketKind, SchedHeader};
+
+/// Inject every packet of every flow, paced at the flow's first-hop
+/// (host NIC) line rate, stamping headers with `stamper`. `wire_bytes`
+/// is the on-the-wire packet size (MTU).
+pub fn inject_udp_flows(
+    net: &mut Network,
+    flows: &[FlowDesc],
+    wire_bytes: u32,
+    stamper: &mut HeaderStamper,
+) {
+    for f in flows {
+        let path = net.resolve_path(f.src, f.dst, f.id);
+        let pace = path.bw[0].tx_time(wire_bytes);
+        for seq in 0..f.pkts {
+            let at = f.start + pace * seq;
+            let hdr = stamper.stamp_data(f.id, f.pkts, f.pkts - seq, wire_bytes, at);
+            net.inject_on_path(
+                at,
+                f.id,
+                seq,
+                wire_bytes,
+                f.src,
+                f.dst,
+                Arc::clone(&path),
+                hdr,
+                PacketKind::Data {
+                    bytes: wire_bytes - 40,
+                },
+            );
+        }
+    }
+}
+
+/// Inject with an externally supplied header per packet (the replay
+/// engine computes slacks from the recorded schedule and chooses paths
+/// recorded in the original run).
+pub fn inject_udp_packets(
+    net: &mut Network,
+    packets: impl Iterator<Item = UdpPacket>,
+) {
+    for p in packets {
+        net.inject_on_path(
+            p.at,
+            p.flow,
+            p.seq,
+            p.size,
+            p.src,
+            p.dst,
+            p.path,
+            p.hdr,
+            PacketKind::Data {
+                bytes: p.size.saturating_sub(40),
+            },
+        );
+    }
+}
+
+/// A fully specified packet injection (replay use).
+#[derive(Debug)]
+pub struct UdpPacket {
+    /// Injection time.
+    pub at: ups_sim::Time,
+    /// Flow id.
+    pub flow: ups_net::FlowId,
+    /// Sequence within flow.
+    pub seq: u64,
+    /// Wire size.
+    pub size: u32,
+    /// Source host.
+    pub src: ups_net::NodeId,
+    /// Destination host.
+    pub dst: ups_net::NodeId,
+    /// Fixed path.
+    pub path: std::sync::Arc<ups_net::Path>,
+    /// Pre-computed header.
+    pub hdr: SchedHeader,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{PrioPolicy, SlackPolicy};
+    use ups_net::{FlowId, TraceLevel};
+    use ups_sim::{Bandwidth, Dur, Time};
+    use ups_topo::simple::dumbbell;
+
+    #[test]
+    fn udp_flow_is_paced_by_the_host_nic() {
+        let mut topo = dumbbell(
+            1,
+            Bandwidth::gbps(1),
+            Bandwidth::gbps(1),
+            Dur::from_micros(1),
+            TraceLevel::Hops,
+        );
+        let flows = [FlowDesc {
+            id: FlowId(0),
+            src: topo.hosts[0],
+            dst: topo.hosts[1],
+            pkts: 5,
+            start: Time::ZERO,
+        }];
+        let mut st = HeaderStamper::new(SlackPolicy::None, PrioPolicy::None);
+        inject_udp_flows(&mut topo.net, &flows, 1500, &mut st);
+        topo.net.run_to_completion();
+        assert_eq!(topo.net.telemetry.counters.delivered, 5);
+        // Deliveries spaced exactly one transmission time apart.
+        let times: Vec<u64> = topo
+            .net
+            .telemetry
+            .packets
+            .iter()
+            .map(|r| r.delivered.unwrap().as_ps())
+            .collect();
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], Dur::from_micros(12).as_ps());
+        }
+    }
+}

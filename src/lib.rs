@@ -1,0 +1,33 @@
+//! **ups** — a reproduction of *Universal Packet Scheduling* (Mittal,
+//! Agarwal, Ratnasamy, Shenker; NSDI 2016) as a Rust workspace.
+//!
+//! The paper asks whether one packet scheduler can *replay* the
+//! network-wide schedule of any other ("universality"), proves that
+//! Least Slack Time First (LSTF) is as close to universal as possible,
+//! and shows LSTF heuristics matching state-of-the-art schedulers on
+//! mean FCT, tail delay, and fairness. This crate re-exports the whole
+//! workspace under one roof:
+//!
+//! * [`sim`] — deterministic discrete-event primitives (picosecond
+//!   clock, class-ordered event queue, portable RNG);
+//! * [`net`] — the store-and-forward network model (the ns-2 stand-in);
+//! * [`sched`] — LSTF, EDF, FIFO, LIFO, Random, Priority/SJF, SRPT,
+//!   FQ, DRR, FIFO+;
+//! * [`topo`] — Internet2, synthetic RocketFuel, fat-tree, fixtures;
+//! * [`flowgen`] — Poisson workloads with heavy-tailed flow sizes;
+//! * [`transport`] — open-loop UDP and a compact TCP Reno;
+//! * [`metrics`] — CDFs, percentiles, Jain fairness;
+//! * [`core`] — the replay engine, slack-initialization heuristics,
+//!   omniscient UPS, and the appendix counterexamples.
+//!
+//! Start with `examples/quickstart.rs`; the full experiment suite lives
+//! in `crates/bench` (one binary per table/figure of the paper).
+
+pub use ups_core as core;
+pub use ups_flowgen as flowgen;
+pub use ups_metrics as metrics;
+pub use ups_net as net;
+pub use ups_sched as sched;
+pub use ups_sim as sim;
+pub use ups_topo as topo;
+pub use ups_transport as transport;

@@ -1,0 +1,121 @@
+//! Smoke tests of the full experiment harness (`ups-bench` runners) at a
+//! tiny scale: every table/figure pipeline runs end-to-end and produces
+//! structurally sane output. (The bench binaries wrap exactly these
+//! functions, so this also guards the reproduction entry points.)
+
+use ups_bench::{
+    ablation_lstf_key, ablation_preempt, ablation_priority, congestion_points, fig1, fig2, fig3,
+    fig4, table1, Scale,
+};
+use ups_sim::Dur;
+
+fn tiny() -> Scale {
+    Scale {
+        edges_per_core: 2,
+        horizon: Dur::from_millis(2),
+        fattree_k: 4,
+        seed: 3,
+        label: "tiny",
+    }
+}
+
+#[test]
+fn table1_produces_all_fourteen_rows() {
+    let rows = table1(&tiny());
+    assert_eq!(rows.len(), 14);
+    for r in &rows {
+        assert!(r.total > 0, "{}: empty run", r.topo);
+        assert!(r.frac_overdue <= 1.0 && r.frac_gt_t <= r.frac_overdue);
+        assert!(r.t_us > 0.0);
+    }
+    // The table covers all three topology families.
+    assert!(rows.iter().any(|r| r.topo.starts_with("I2")));
+    assert!(rows.iter().any(|r| r.topo == "RocketFuel"));
+    assert!(rows.iter().any(|r| r.topo == "Datacenter"));
+    // And the five original schedulers of row 5.
+    for orig in ["FIFO", "FQ", "SJF", "LIFO", "FQ/FIFO+"] {
+        assert!(rows.iter().any(|r| r.original == orig), "missing {orig}");
+    }
+}
+
+#[test]
+fn fig1_cdfs_show_lstf_reducing_queueing() {
+    let curves = fig1(&tiny());
+    assert_eq!(curves.len(), 6);
+    for (label, cdf) in &curves {
+        assert!(!cdf.is_empty(), "{label}: empty ratio CDF");
+        // The paper's observation: a large share of packets see *less*
+        // queueing in the replay (ratio <= 1). Loosely asserted.
+        assert!(
+            cdf.at(1.0) > 0.3,
+            "{label}: only {:.2} of packets at ratio<=1",
+            cdf.at(1.0)
+        );
+    }
+}
+
+#[test]
+fn fig2_reports_buckets_for_every_scheme() {
+    let (buckets, results) = fig2(&tiny());
+    assert_eq!(results.len(), 4);
+    for r in &results {
+        assert_eq!(r.buckets.len(), buckets.count());
+        assert!(r.completed.0 > 0, "{}: nothing completed", r.label);
+        assert!(r.mean_fct > 0.0);
+    }
+}
+
+#[test]
+fn fig3_produces_tail_stats() {
+    let results = fig3(&tiny());
+    assert_eq!(results.len(), 2);
+    for r in &results {
+        assert!(r.mean > 0.0 && r.p99 >= r.mean && r.max >= r.p999);
+    }
+    // Identical open-loop load: packet counts match.
+    assert_eq!(results[0].cdf.len(), results[1].cdf.len());
+}
+
+#[test]
+fn fig4_fairness_series_has_all_schemes() {
+    let series = fig4(&tiny());
+    assert_eq!(series.len(), 7); // FIFO, FQ, five rest values
+    for (label, pts) in &series {
+        assert_eq!(pts.len(), 20, "{label}: wrong window count");
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.jain)));
+    }
+    // FQ converges to near-perfect fairness.
+    let fq = &series[1];
+    assert!(fq.1.last().unwrap().jain > 0.9, "FQ final {}", fq.1.last().unwrap().jain);
+}
+
+#[test]
+fn ablations_run_and_are_consistent() {
+    let rows = ablation_priority(&tiny());
+    assert_eq!(rows.len(), 4);
+    let lstf = rows.iter().find(|r| r.mode == "LSTF").unwrap();
+    let edf = rows.iter().find(|r| r.mode == "EDF").unwrap();
+    let omni = rows.iter().find(|r| r.mode == "Omniscient").unwrap();
+    assert_eq!(lstf.frac_overdue, edf.frac_overdue, "EDF != LSTF");
+    assert_eq!(omni.frac_overdue, 0.0, "omniscient must be perfect");
+
+    let keys = ablation_lstf_key(&tiny());
+    assert_eq!(
+        keys[0].frac_overdue, keys[1].frac_overdue,
+        "key modes must coincide for uniform packet sizes"
+    );
+
+    let pre = ablation_preempt(&tiny());
+    assert_eq!(pre.len(), 8);
+}
+
+#[test]
+fn congestion_points_cover_topologies() {
+    let rows = congestion_points(&tiny());
+    assert_eq!(rows.len(), 5);
+    for (topo, hist, _) in &rows {
+        assert!(!hist.is_empty(), "{topo}: empty histogram");
+        let total: usize = hist.iter().sum();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Behavioral tests of the TCP Reno implementation under controlled
+//! conditions: loss recovery, bandwidth conservation, RTT-proportional
+//! ramp-up, and interaction with the scheduling fabric.
+
+use ups::net::{FlowId, TraceLevel};
+use ups::sim::{Bandwidth, Dur, Time};
+use ups::topo::simple::{dumbbell, line};
+use ups::transport::{install_tcp, FlowDesc, HeaderStamper, TcpConfig};
+
+fn zero_stamper() -> HeaderStamper {
+    HeaderStamper::zero()
+}
+
+#[test]
+fn goodput_never_exceeds_bottleneck_capacity() {
+    let mut topo = dumbbell(
+        4,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(1),
+        Dur::from_micros(50),
+        TraceLevel::Delivery,
+    );
+    let flows: Vec<FlowDesc> = (0..4)
+        .map(|i| FlowDesc {
+            id: FlowId(i),
+            src: topo.hosts[i as usize],
+            dst: topo.hosts[4 + i as usize],
+            pkts: u64::MAX / 2,
+            start: Time::ZERO,
+        })
+        .collect();
+    topo.net.set_all_buffers(Some(1_000_000));
+    install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
+    let horizon = Time::from_millis(20);
+    topo.net.run_until(horizon);
+    // Data bytes delivered across the bottleneck cannot exceed capacity.
+    let data_bytes: u64 = topo
+        .net
+        .telemetry
+        .packets
+        .iter()
+        .filter(|r| r.delivered.is_some() && !ups::transport::is_ack_flow(r.flow))
+        .map(|r| r.size as u64)
+        .sum();
+    let cap_bytes = 1_000_000_000u64 / 8 * 20 / 1000; // 1Gbps for 20ms
+    assert!(
+        data_bytes <= cap_bytes,
+        "delivered {data_bytes} bytes over a {cap_bytes}-byte capacity"
+    );
+    // And the link should be well used (> 60% of capacity).
+    assert!(
+        data_bytes * 10 >= cap_bytes * 6,
+        "bottleneck underused: {data_bytes}/{cap_bytes}"
+    );
+}
+
+#[test]
+fn recovers_from_severe_buffer_pressure() {
+    // A 15 kB buffer (ten packets) forces repeated loss episodes; every
+    // flow must still complete via fast retransmit / RTO.
+    let mut topo = dumbbell(
+        4,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(1),
+        Dur::from_micros(50),
+        TraceLevel::Delivery,
+    );
+    let flows: Vec<FlowDesc> = (0..4)
+        .map(|i| FlowDesc {
+            id: FlowId(i),
+            src: topo.hosts[i as usize],
+            dst: topo.hosts[4 + i as usize],
+            pkts: 300,
+            start: Time::from_micros(5 * i),
+        })
+        .collect();
+    topo.net.set_all_buffers(Some(15_000));
+    let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
+    topo.net.run_until(Time::from_secs(20));
+    let res = results.lock().unwrap();
+    assert!(
+        topo.net.telemetry.counters.dropped > 0,
+        "test needs loss pressure"
+    );
+    for r in res.iter() {
+        assert!(
+            r.completed.is_some(),
+            "flow {:?} stuck ({} retransmits)",
+            r.desc.id,
+            r.retransmits
+        );
+        assert!(r.retransmits > 0 || r.desc.pkts < 20, "no loss seen");
+    }
+}
+
+#[test]
+fn longer_paths_finish_later_for_equal_windows() {
+    // Same flow size over a 1-router vs 5-router path: more RTT, later
+    // completion (sanity of timer/ack plumbing over multi-hop paths).
+    let fct_over = |routers: usize| {
+        let mut topo = line(
+            routers,
+            Bandwidth::gbps(1),
+            Dur::from_micros(100),
+            TraceLevel::Delivery,
+        );
+        let flows = vec![FlowDesc {
+            id: FlowId(0),
+            src: topo.hosts[0],
+            dst: topo.hosts[1],
+            pkts: 200,
+            start: Time::ZERO,
+        }];
+        let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
+        topo.net.run_until(Time::from_secs(5));
+        let r = results.lock().unwrap();
+        r[0].fct().expect("incomplete").as_secs_f64()
+    };
+    let short = fct_over(1);
+    let long = fct_over(5);
+    assert!(
+        long > short * 1.3,
+        "5-router FCT {long} not sufficiently above 1-router {short}"
+    );
+}
+
+#[test]
+fn ack_streams_are_flagged_and_excluded_from_goodput() {
+    let mut topo = dumbbell(
+        1,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(1),
+        Dur::from_micros(20),
+        TraceLevel::Delivery,
+    );
+    let flows = vec![FlowDesc {
+        id: FlowId(0),
+        src: topo.hosts[0],
+        dst: topo.hosts[1],
+        pkts: 50,
+        start: Time::ZERO,
+    }];
+    install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
+    topo.net.run_until(Time::from_secs(2));
+    let (mut data, mut acks) = (0u64, 0u64);
+    for r in topo.net.telemetry.packets.iter() {
+        if r.delivered.is_none() {
+            continue;
+        }
+        if ups::transport::is_ack_flow(r.flow) {
+            acks += 1;
+            assert_eq!(ups::transport::data_flow(r.flow), FlowId(0));
+        } else {
+            data += 1;
+        }
+    }
+    assert_eq!(data, 50, "all data packets delivered exactly once");
+    assert!(acks >= 50, "per-packet ACKs expected");
+}
+
+#[test]
+fn deterministic_tcp_runs() {
+    let run = || {
+        let mut topo = dumbbell(
+            2,
+            Bandwidth::gbps(10),
+            Bandwidth::gbps(1),
+            Dur::from_micros(50),
+            TraceLevel::Delivery,
+        );
+        let flows: Vec<FlowDesc> = (0..2)
+            .map(|i| FlowDesc {
+                id: FlowId(i),
+                src: topo.hosts[i as usize],
+                dst: topo.hosts[2 + i as usize],
+                pkts: 200,
+                start: Time::from_micros(3 * i),
+            })
+            .collect();
+        topo.net.set_all_buffers(Some(60_000));
+        let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
+        topo.net.run_until(Time::from_secs(5));
+        let r = results.lock().unwrap();
+        r.iter()
+            .map(|x| (x.completed.map(|t| t.as_ps()), x.retransmits))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
