@@ -9,7 +9,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ups_net::testutil::queued_full;
-use ups_net::Scheduler;
 use ups_sched::SchedKind;
 use ups_sim::DetRng;
 
@@ -19,10 +18,10 @@ fn make_batch(n: usize) -> Vec<(u64, i64, i64, u64)> {
     (0..n)
         .map(|i| {
             (
-                rng.gen_range(16),                    // flow
-                rng.gen_range(2_000_000) as i64,      // slack
-                rng.gen_range(1_000) as i64,          // prio
-                i as u64,                             // enq ns
+                rng.gen_range(16),               // flow
+                rng.gen_range(2_000_000) as i64, // slack
+                rng.gen_range(1_000) as i64,     // prio
+                i as u64,                        // enq ns
             )
         })
         .collect()

@@ -5,7 +5,10 @@ use ups_bench::*;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# Universal Packet Scheduling — full experiment suite ({})", scale.label);
+    println!(
+        "# Universal Packet Scheduling — full experiment suite ({})",
+        scale.label
+    );
 
     print_replay_rows("Table 1: LSTF replayability", &table1(&scale));
 

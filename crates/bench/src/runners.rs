@@ -339,7 +339,12 @@ pub fn fig4(scale: &Scale) -> Vec<(String, Vec<FairnessPoint>)> {
 /// §2.3(5): non-preemptive vs preemptive LSTF on the hardest originals.
 pub fn ablation_preempt(scale: &Scale) -> Vec<ReplayRow> {
     let mut rows = Vec::new();
-    for original in [SchedKind::Sjf, SchedKind::Lifo, SchedKind::Fifo, SchedKind::Random] {
+    for original in [
+        SchedKind::Sjf,
+        SchedKind::Lifo,
+        SchedKind::Fifo,
+        SchedKind::Random,
+    ] {
         for mode in [ReplayMode::lstf(), ReplayMode::lstf_preemptive()] {
             rows.push(
                 run_replay(
@@ -494,7 +499,11 @@ mod tests {
         assert!(row.frac_overdue <= 1.0);
         assert!(row.frac_gt_t <= row.frac_overdue);
         assert_eq!(report.total, schedule.len());
-        assert!((row.t_us - 12.0).abs() < 1e-9, "T must be 12us, got {}", row.t_us);
+        assert!(
+            (row.t_us - 12.0).abs() < 1e-9,
+            "T must be 12us, got {}",
+            row.t_us
+        );
     }
 
     #[test]

@@ -176,8 +176,7 @@ pub fn run_fairness(
     topo.net.run_until(horizon);
 
     // Per-flow delivered data bytes from telemetry (ACK streams excluded).
-    let index: HashMap<FlowId, usize> =
-        flows.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
+    let index: HashMap<FlowId, usize> = flows.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
     let deliveries = topo.net.telemetry.packets.iter().filter_map(|r| {
         let t = r.delivered?;
         if is_ack_flow(r.flow) {
@@ -205,8 +204,7 @@ pub fn run_goodput(
         scheme.stamper()
     });
     topo.net.run_until(horizon);
-    let index: HashMap<FlowId, usize> =
-        flows.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
+    let index: HashMap<FlowId, usize> = flows.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
     let mut bytes = vec![0u64; flows.len()];
     for r in topo.net.telemetry.packets.iter() {
         if r.delivered.is_none() || is_ack_flow(r.flow) {

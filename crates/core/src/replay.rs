@@ -147,8 +147,7 @@ pub fn record_original(
         "recording requires hop-level tracing"
     );
     topo.net.set_all_buffers(None);
-    topo.net
-        .set_all_schedulers(|l| original.build(l.id, seed));
+    topo.net.set_all_schedulers(|l| original.build(l.id, seed));
     let prio = if original.needs_priority_stamp() {
         PrioPolicy::FlowSize
     } else {
@@ -227,7 +226,12 @@ pub fn replay_schedule(
     let tel = &topo.net.telemetry;
     assert_eq!(tel.counters.dropped, 0, "replay must be drop-free");
     assert_eq!(tel.packets.len(), schedule.packets.len());
-    let max_size = schedule.packets.iter().map(|p| p.size).max().unwrap_or(1500);
+    let max_size = schedule
+        .packets
+        .iter()
+        .map(|p| p.size)
+        .max()
+        .unwrap_or(1500);
     let t = topo.net.bottleneck_bw().tx_time(max_size);
 
     let mut lateness = Vec::with_capacity(schedule.packets.len());
@@ -285,12 +289,7 @@ mod tests {
     use ups_topo::simple::{dumbbell, star};
 
     fn star_factory() -> Topology {
-        star(
-            6,
-            Bandwidth::gbps(1),
-            Dur::from_micros(5),
-            TraceLevel::Hops,
-        )
+        star(6, Bandwidth::gbps(1), Dur::from_micros(5), TraceLevel::Hops)
     }
 
     /// A small contended workload on the star: every other host sends a
@@ -383,8 +382,14 @@ mod tests {
                 start: Time::from_micros(i * 3),
             })
             .collect();
-        let (schedule, report) =
-            replay_experiment(factory, &flows, SchedKind::Lifo, ReplayMode::lstf(), 1, 1500);
+        let (schedule, report) = replay_experiment(
+            factory,
+            &flows,
+            SchedKind::Lifo,
+            ReplayMode::lstf(),
+            1,
+            1500,
+        );
         assert_eq!(report.total, 80);
         assert!(schedule.mean_slack() > 0.0);
         // LSTF replay of LIFO is approximate, but the overwhelming

@@ -164,12 +164,7 @@ mod tests {
     use ups_topo::simple::line;
 
     fn run_line() -> RecordedSchedule {
-        let mut topo = line(
-            2,
-            Bandwidth::gbps(1),
-            Dur::from_micros(5),
-            TraceLevel::Hops,
-        );
+        let mut topo = line(2, Bandwidth::gbps(1), Dur::from_micros(5), TraceLevel::Hops);
         let (h0, h1) = (topo.hosts[0], topo.hosts[1]);
         for s in 0..4 {
             topo.net.inject(
@@ -216,10 +211,7 @@ mod tests {
         let sched = run_line();
         for p in &sched.packets {
             assert_eq!(p.hop_tx_start.len(), p.path.hops());
-            assert!(p
-                .hop_tx_start
-                .windows(2)
-                .all(|w| w[0] < w[1]));
+            assert!(p.hop_tx_start.windows(2).all(|w| w[0] < w[1]));
         }
     }
 }

@@ -78,18 +78,8 @@ pub fn build(case: Case) -> (UnitNet, RecordedSchedule) {
 
     // Per-case service times straight from the published tables.
     let (a_scheds, x_scheds, b_scheds, y_scheds) = match case {
-        Case::One => (
-            vec![0, 1, 4],
-            vec![1, 2, 3],
-            [2, 3, 4],
-            [3, 4],
-        ),
-        Case::Two => (
-            vec![1, 2, 4],
-            vec![0, 1, 3],
-            [3, 4, 5],
-            [2, 3],
-        ),
+        Case::One => (vec![0, 1, 4], vec![1, 2, 3], [2, 3, 4], [3, 4]),
+        Case::Two => (vec![1, 2, 4], vec![0, 1, 3], [3, 4, 5], [2, 3]),
     };
 
     let mut plans = vec![
@@ -134,8 +124,8 @@ pub fn demonstrate() -> (Time, Time, ReplayReport, ReplayReport) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::BASE;
+    use super::*;
 
     #[test]
     fn a_and_x_have_identical_blackbox_inputs_across_cases() {
@@ -148,8 +138,7 @@ mod tests {
             assert_eq!(s1.packets[idx].i, s2.packets[idx].i, "i differs");
             assert_eq!(s1.packets[idx].o, s2.packets[idx].o, "o differs");
             assert_eq!(
-                s1.packets[idx].path.links,
-                s2.packets[idx].path.links,
+                s1.packets[idx].path.links, s2.packets[idx].path.links,
                 "path differs"
             );
         }

@@ -47,8 +47,8 @@ pub fn build() -> (UnitNet, RecordedSchedule) {
     };
 
     let plans = vec![
-        plan(0, &fp_a, 0, vec![0, 320]),   // a: α1@0, α3@3.2
-        plan(1, &fp_b, 0, vec![100, 200]), // b: α1@1, α2@2
+        plan(0, &fp_a, 0, vec![0, 320]),     // a: α1@0, α3@3.2
+        plan(1, &fp_b, 0, vec![100, 200]),   // b: α1@1, α2@2
         plan(2, &fp_c, 200, vec![250, 300]), // c: α2@2.5, α3@3
     ];
     let sched = realize(&un, &plans);
@@ -121,9 +121,21 @@ mod tests {
         let close = |t: ups_sim::Time, units_x10: i64| {
             (t.signed_since(base) - units_x10 * u / 10).abs() < 10 * EPS
         };
-        assert!(close(sched.packets[0].o, 34), "o(a) = {}", sched.packets[0].o);
-        assert!(close(sched.packets[1].o, 25), "o(b) = {}", sched.packets[1].o);
-        assert!(close(sched.packets[2].o, 32), "o(c) = {}", sched.packets[2].o);
+        assert!(
+            close(sched.packets[0].o, 34),
+            "o(a) = {}",
+            sched.packets[0].o
+        );
+        assert!(
+            close(sched.packets[1].o, 25),
+            "o(b) = {}",
+            sched.packets[1].o
+        );
+        assert!(
+            close(sched.packets[2].o, 32),
+            "o(c) = {}",
+            sched.packets[2].o
+        );
     }
 
     #[test]

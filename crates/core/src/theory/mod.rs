@@ -205,9 +205,7 @@ pub fn realize(unit_net: &UnitNet, plans: &[PacketPlan]) -> RecordedSchedule {
         next_hop: usize,
     }
 
-    let to_time = |x100: i64| -> Time {
-        BASE.offset(x100 * UNIT.as_ps() as i64 / 100)
-    };
+    let to_time = |x100: i64| -> Time { BASE.offset(x100 * UNIT.as_ps() as i64 / 100) };
 
     let mut states: Vec<State> = plans
         .iter()
@@ -239,16 +237,14 @@ pub fn realize(unit_net: &UnitNet, plans: &[PacketPlan]) -> RecordedSchedule {
     work.sort();
 
     let advance = |st: &mut State,
-                       size: u32,
-                       upto: usize,
-                       intended: Option<Time>,
-                       free: &mut HashMap<LinkId, Time>| {
+                   size: u32,
+                   upto: usize,
+                   intended: Option<Time>,
+                   free: &mut HashMap<LinkId, Time>| {
         while st.next_hop < upto {
             let hop = st.next_hop;
             let lid = st.path.links[hop];
-            let mut start = st
-                .ready
-                .max(free.get(&lid).copied().unwrap_or(Time::ZERO));
+            let mut start = st.ready.max(free.get(&lid).copied().unwrap_or(Time::ZERO));
             if st.next_hop == upto - 1 {
                 if let Some(t) = intended {
                     start = start.max(t);
@@ -391,9 +387,7 @@ mod tests {
             cp_sched_x100: vec![0],
         };
         let sched = realize(&un, &[mk(0, fp1), mk(1, fp2)]);
-        let gap = sched.packets[1]
-            .o
-            .signed_since(sched.packets[0].o);
+        let gap = sched.packets[1].o.signed_since(sched.packets[0].o);
         assert_eq!(gap, UNIT.as_i64());
     }
 }

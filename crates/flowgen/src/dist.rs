@@ -114,7 +114,8 @@ impl SizeDist {
                 } else {
                     let la = l.powf(alpha);
                     let ha = h.powf(alpha);
-                    (alpha / (alpha - 1.0)) * (la / (1.0 - la / ha))
+                    (alpha / (alpha - 1.0))
+                        * (la / (1.0 - la / ha))
                         * (1.0 / l.powf(alpha - 1.0) - 1.0 / h.powf(alpha - 1.0))
                 }
             }

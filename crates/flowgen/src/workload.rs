@@ -221,7 +221,10 @@ mod tests {
         assert!(!a.is_empty());
         assert!(a.windows(2).all(|w| w[0].start <= w[1].start));
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!((x.start, x.src, x.dst, x.pkts), (y.start, y.src, y.dst, y.pkts));
+            assert_eq!(
+                (x.start, x.src, x.dst, x.pkts),
+                (y.start, y.src, y.dst, y.pkts)
+            );
         }
         // Ids dense.
         assert!(a.iter().enumerate().all(|(i, f)| f.id.0 == i as u64));
@@ -262,7 +265,9 @@ mod tests {
         let t = topo();
         let flows = long_lived_flows(&t, 16, Dur::from_millis(5), 3);
         assert_eq!(flows.len(), 16);
-        assert!(flows.iter().all(|f| f.start.as_ps() < Dur::from_millis(5).as_ps()));
+        assert!(flows
+            .iter()
+            .all(|f| f.start.as_ps() < Dur::from_millis(5).as_ps()));
         assert!(flows.iter().all(|f| f.src != f.dst));
         // Starts are not all identical.
         let first = flows[0].start;

@@ -38,8 +38,8 @@ impl Scheduler for Fifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::queued_slack as queued;
     use crate::scheduler::EvictOutcome;
+    use crate::testutil::queued_slack as queued;
 
     #[test]
     fn fifo_order() {

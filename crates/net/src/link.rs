@@ -431,7 +431,7 @@ mod tests {
         l.buffer = Some(3000); // room for two 1500B packets in queue
         l.admit(mk_pkt(0, 1500), Time::ZERO);
         l.try_start(Time::ZERO).unwrap(); // packet 0 goes in flight
-        // Two fit in the buffer while one transmits...
+                                          // Two fit in the buffer while one transmits...
         assert!(l.admit(mk_pkt(1, 1500), Time::ZERO).dropped.is_empty());
         assert!(l.admit(mk_pkt(2, 1500), Time::ZERO).dropped.is_empty());
         // ...the fourth overflows and FIFO drops the arrival.
@@ -462,7 +462,11 @@ mod tests {
         );
         l.admit(mk_pkt(0, 1500), Time::from_micros(3));
         let (end, gen) = l.try_start(Time::from_micros(3)).unwrap();
-        assert_eq!(end, Time::from_micros(3), "infinite bw serializes instantly");
+        assert_eq!(
+            end,
+            Time::from_micros(3),
+            "infinite bw serializes instantly"
+        );
         let done = l.tx_done(gen, end);
         assert!(done.completed.is_some());
     }

@@ -418,7 +418,8 @@ impl Network {
 
     fn handle_start_tx(&mut self, lid: LinkId, now: Time) {
         if let Some((end, gen)) = self.links[lid.0 as usize].try_start(now) {
-            self.queue.push(end, class::TX_DONE, Ev::TxDone { link: lid, gen });
+            self.queue
+                .push(end, class::TX_DONE, Ev::TxDone { link: lid, gen });
         }
     }
 
@@ -627,10 +628,7 @@ mod tests {
             .iter()
             .map(|r| r.delivered.unwrap())
             .collect();
-        assert_eq!(
-            d[0].max(d[1]) - d[0].min(d[1]),
-            Dur::from_micros(12)
-        );
+        assert_eq!(d[0].max(d[1]) - d[0].min(d[1]), Dur::from_micros(12));
     }
 
     #[test]

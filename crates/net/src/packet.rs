@@ -171,12 +171,7 @@ mod tests {
     fn path3() -> Path {
         Path {
             links: vec![LinkId(0), LinkId(1), LinkId(2)].into(),
-            bw: vec![
-                Bandwidth::gbps(10),
-                Bandwidth::gbps(1),
-                Bandwidth::gbps(10),
-            ]
-            .into(),
+            bw: vec![Bandwidth::gbps(10), Bandwidth::gbps(1), Bandwidth::gbps(10)].into(),
             prop: vec![
                 Dur::from_micros(10),
                 Dur::from_micros(20),

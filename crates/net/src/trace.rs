@@ -80,9 +80,7 @@ impl PacketRecord {
 
     /// Total queueing delay across hops (requires hop tracing).
     pub fn total_qdelay(&self) -> Dur {
-        self.hops
-            .iter()
-            .fold(Dur::ZERO, |acc, h| acc + h.qdelay())
+        self.hops.iter().fold(Dur::ZERO, |acc, h| acc + h.qdelay())
     }
 
     /// Number of congestion points this packet saw (requires hop tracing).

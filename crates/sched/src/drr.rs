@@ -6,9 +6,9 @@
 //! the flow's deficit counter, and the flow sends head packets while its
 //! deficit covers them.
 
+use std::collections::{HashMap, VecDeque};
 use ups_net::scheduler::{Queued, Scheduler};
 use ups_net::FlowId;
-use std::collections::{HashMap, VecDeque};
 
 /// Deficit Round Robin scheduler.
 #[derive(Debug)]

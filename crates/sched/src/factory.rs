@@ -119,14 +119,8 @@ mod tests {
 
     #[test]
     fn mix_alternates_by_link_parity() {
-        assert_eq!(
-            SchedKind::FqFifoPlusMix.build(LinkId(0), 0).name(),
-            "FQ"
-        );
-        assert_eq!(
-            SchedKind::FqFifoPlusMix.build(LinkId(1), 0).name(),
-            "FIFO+"
-        );
+        assert_eq!(SchedKind::FqFifoPlusMix.build(LinkId(0), 0).name(), "FQ");
+        assert_eq!(SchedKind::FqFifoPlusMix.build(LinkId(1), 0).name(), "FIFO+");
     }
 
     #[test]
@@ -137,8 +131,12 @@ mod tests {
             a.enqueue(ups_net::testutil::queued_slack(0, seq, seq));
             b.enqueue(ups_net::testutil::queued_slack(0, seq, seq));
         }
-        let da: Vec<u64> = std::iter::from_fn(|| a.dequeue()).map(|q| q.pkt.seq).collect();
-        let db: Vec<u64> = std::iter::from_fn(|| b.dequeue()).map(|q| q.pkt.seq).collect();
+        let da: Vec<u64> = std::iter::from_fn(|| a.dequeue())
+            .map(|q| q.pkt.seq)
+            .collect();
+        let db: Vec<u64> = std::iter::from_fn(|| b.dequeue())
+            .map(|q| q.pkt.seq)
+            .collect();
         assert_ne!(da, db);
     }
 }

@@ -12,9 +12,9 @@
 //! Tags are in "virtual bit-times" scaled by 256 to give integer
 //! precision for fractional weights.
 
+use std::collections::{BTreeMap, HashMap};
 use ups_net::scheduler::{EvictOutcome, Queued, Scheduler};
 use ups_net::FlowId;
-use std::collections::{BTreeMap, HashMap};
 
 const WEIGHT_SCALE: u64 = 256;
 
@@ -134,10 +134,7 @@ mod tests {
         // flow 0 (strict interleaving after the first round).
         let first1 = order.iter().position(|&f| f == 1).unwrap();
         let last0 = order.iter().rposition(|&f| f == 0).unwrap();
-        assert!(
-            first1 < last0,
-            "no interleaving: {order:?}"
-        );
+        assert!(first1 < last0, "no interleaving: {order:?}");
         // Equal split overall.
         assert_eq!(order.iter().filter(|&&f| f == 0).count(), 4);
     }

@@ -6,9 +6,9 @@
 //! `(key, arrival_seq)`, which also gives an O(log n) *max* lookup for the
 //! drop-worst buffer policy and an O(1) min peek for preemption urgency.
 
+use std::collections::BTreeMap;
 use ups_net::scheduler::{EvictOutcome, Queued, Scheduler};
 use ups_net::Packet;
-use std::collections::BTreeMap;
 
 /// How a [`Keyed`] scheduler orders packets.
 pub trait KeyPolicy: std::fmt::Debug + Send {
@@ -140,10 +140,7 @@ mod tests {
             other => panic!("expected eviction, got {other:?}"),
         }
         // Now the worst queued (10) is better than incoming (50).
-        assert!(matches!(
-            s.evict_for(&incoming),
-            EvictOutcome::DropIncoming
-        ));
+        assert!(matches!(s.evict_for(&incoming), EvictOutcome::DropIncoming));
     }
 
     #[test]

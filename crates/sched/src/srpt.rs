@@ -12,9 +12,9 @@
 //! On overflow, the victim is the newest packet of the flow holding the
 //! *worst* best-priority (pFabric drops from the lowest-priority flow).
 
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use ups_net::scheduler::{EvictOutcome, Queued, Scheduler};
 use ups_net::FlowId;
-use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// SRPT scheduler with pFabric-style starvation prevention.
 #[derive(Debug, Default)]
@@ -34,7 +34,9 @@ impl Srpt {
     }
 
     fn remove_from_index(&mut self, q: &Queued) {
-        let removed = self.index.remove(&(q.pkt.hdr.prio, q.arrival_seq, q.pkt.flow));
+        let removed = self
+            .index
+            .remove(&(q.pkt.hdr.prio, q.arrival_seq, q.pkt.flow));
         debug_assert!(removed, "index out of sync");
     }
 }
@@ -45,7 +47,8 @@ impl Scheduler for Srpt {
     }
 
     fn enqueue(&mut self, q: Queued) {
-        self.index.insert((q.pkt.hdr.prio, q.arrival_seq, q.pkt.flow));
+        self.index
+            .insert((q.pkt.hdr.prio, q.arrival_seq, q.pkt.flow));
         self.flows.entry(q.pkt.flow).or_default().push_back(q);
         self.len += 1;
     }

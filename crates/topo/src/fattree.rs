@@ -117,7 +117,7 @@ mod tests {
     fn k4_has_canonical_counts() {
         let t = k4();
         assert_eq!(t.hosts.len(), 16); // k^3/4
-        // Switches: 4 core + 8 agg + 8 edge = 20.
+                                       // Switches: 4 core + 8 agg + 8 edge = 20.
         let routers = t.net.nodes.iter().filter(|n| !n.is_host()).count();
         assert_eq!(routers, 20);
     }
@@ -155,9 +155,6 @@ mod tests {
     fn uniform_10g_means_t_is_1_2us() {
         let t = k4();
         assert_eq!(t.bottleneck_core_bw(), Bandwidth::gbps(10));
-        assert_eq!(
-            t.bottleneck_core_bw().tx_time(1500),
-            Dur::from_nanos(1200)
-        );
+        assert_eq!(t.bottleneck_core_bw().tx_time(1500), Dur::from_nanos(1200));
     }
 }

@@ -36,22 +36,22 @@ const CITIES: [&str; 10] = [
 /// microseconds — roughly geographic at ~5 µs/km, scaled down 10× to keep
 /// simulated horizons short, as the paper itself does for fairness runs).
 const CORE_EDGES: [(usize, usize, u64); 16] = [
-    (0, 1, 570),  // SEAT-SUNN
-    (0, 3, 530),  // SEAT-DENV
-    (0, 6, 920),  // SEAT-CHIC
-    (1, 2, 250),  // SUNN-LOSA
-    (1, 3, 500),  // SUNN-DENV
-    (2, 5, 690),  // LOSA-HOUS
-    (3, 4, 300),  // DENV-KANS
-    (3, 6, 480),  // DENV-CHIC
-    (4, 5, 370),  // KANS-HOUS
-    (4, 6, 220),  // KANS-CHIC
-    (5, 7, 350),  // HOUS-ATLA
-    (6, 7, 330),  // CHIC-ATLA
-    (6, 9, 360),  // CHIC-NEWY
-    (7, 8, 290),  // ATLA-WASH
-    (8, 9, 110),  // WASH-NEWY
-    (2, 7, 980),  // LOSA-ATLA (southern long-haul)
+    (0, 1, 570), // SEAT-SUNN
+    (0, 3, 530), // SEAT-DENV
+    (0, 6, 920), // SEAT-CHIC
+    (1, 2, 250), // SUNN-LOSA
+    (1, 3, 500), // SUNN-DENV
+    (2, 5, 690), // LOSA-HOUS
+    (3, 4, 300), // DENV-KANS
+    (3, 6, 480), // DENV-CHIC
+    (4, 5, 370), // KANS-HOUS
+    (4, 6, 220), // KANS-CHIC
+    (5, 7, 350), // HOUS-ATLA
+    (6, 7, 330), // CHIC-ATLA
+    (6, 9, 360), // CHIC-NEWY
+    (7, 8, 290), // ATLA-WASH
+    (8, 9, 110), // WASH-NEWY
+    (2, 7, 980), // LOSA-ATLA (southern long-haul)
 ];
 
 /// Bandwidth variants from Table 1 row 3.
@@ -185,7 +185,7 @@ mod tests {
         // 10 core routers and 16 duplex core links (32 unidirectional).
         assert_eq!(t.core_links.len(), 32);
         assert_eq!(t.hosts.len(), 20); // 2 per core here
-        // Full build: 10 hosts per core.
+                                       // Full build: 10 hosts per core.
         let full = build(&I2Config::default(), TraceLevel::Off);
         assert_eq!(full.hosts.len(), 100);
     }
@@ -228,9 +228,6 @@ mod tests {
         let t = small(I2Variant::Default1g10g);
         assert_eq!(t.bottleneck_core_bw(), Bandwidth::gbps(1));
         // T = 12us for 1500B at 1Gbps — the paper's threshold.
-        assert_eq!(
-            t.bottleneck_core_bw().tx_time(1500),
-            Dur::from_micros(12)
-        );
+        assert_eq!(t.bottleneck_core_bw().tx_time(1500), Dur::from_micros(12));
     }
 }

@@ -97,9 +97,7 @@ impl HeaderStamper {
     ) -> SchedHeader {
         let slack = match &self.slack {
             SlackPolicy::None => 0,
-            SlackPolicy::FlowSizeTimesD { d } => {
-                (flow_pkts as i64).saturating_mul(d.as_i64())
-            }
+            SlackPolicy::FlowSizeTimesD { d } => (flow_pkts as i64).saturating_mul(d.as_i64()),
             SlackPolicy::Constant { slack } => slack.as_i64(),
             SlackPolicy::VirtualClock { rest } => {
                 self.vc_advance(flow, rest.tx_time(wire_bytes).as_i64(), now)
@@ -196,16 +194,16 @@ mod tests {
             },
             PrioPolicy::None,
         );
-        assert_eq!(st.stamp_data(FlowId(9), 100, 100, 1500, Time::ZERO).slack, 0);
+        assert_eq!(
+            st.stamp_data(FlowId(9), 100, 100, 1500, Time::ZERO).slack,
+            0
+        );
     }
 
     #[test]
     fn virtual_clock_credits_slow_senders_and_charges_fast_ones() {
         let rest = Bandwidth::gbps(1); // tau = 12us per 1500B
-        let mut st = HeaderStamper::new(
-            SlackPolicy::VirtualClock { rest },
-            PrioPolicy::None,
-        );
+        let mut st = HeaderStamper::new(SlackPolicy::VirtualClock { rest }, PrioPolicy::None);
         let f = FlowId(0);
         st.stamp_data(f, 100, 100, 1500, Time::ZERO);
         // Next packet arrives immediately (faster than rest): slack grows

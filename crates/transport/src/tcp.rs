@@ -228,8 +228,7 @@ impl TcpHost {
                             let err = srtt.as_i64() - sample.as_i64();
                             let abs = Dur(err.unsigned_abs());
                             s.rttvar = Dur((3 * s.rttvar.as_ps() + abs.as_ps()) / 4);
-                            s.srtt =
-                                Some(Dur((7 * srtt.as_ps() + sample.as_ps()) / 8));
+                            s.srtt = Some(Dur((7 * srtt.as_ps() + sample.as_ps()) / 8));
                         }
                     }
                     s.rto = (s.srtt.unwrap() + s.rttvar * 4).max(min_rto);
@@ -302,22 +301,15 @@ impl TcpHost {
     fn on_data(&mut self, net: &mut Network, node: NodeId, pkt: &Packet) {
         let flow = pkt.flow;
         let now = net.now();
-        if !self.receivers.contains_key(&flow) {
-            let reverse = net.resolve_path(node, pkt.src, flow);
-            self.receivers.insert(
-                flow,
-                Receiver {
-                    src: pkt.src,
-                    reverse_path: reverse,
-                    next_expected: 0,
-                    out_of_order: BTreeSet::new(),
-                    acks_sent: 0,
-                },
-            );
-        }
         let ack_hdr = self.stamper.stamp_ack();
         let ack_bytes = self.cfg.ack_bytes;
-        let r = self.receivers.get_mut(&flow).expect("just inserted");
+        let r = self.receivers.entry(flow).or_insert_with(|| Receiver {
+            src: pkt.src,
+            reverse_path: net.resolve_path(node, pkt.src, flow),
+            next_expected: 0,
+            out_of_order: BTreeSet::new(),
+            acks_sent: 0,
+        });
         if pkt.seq >= r.next_expected {
             r.out_of_order.insert(pkt.seq);
             while r.out_of_order.remove(&r.next_expected) {

@@ -49,10 +49,7 @@ pub fn inject_udp_flows(
 /// Inject with an externally supplied header per packet (the replay
 /// engine computes slacks from the recorded schedule and chooses paths
 /// recorded in the original run).
-pub fn inject_udp_packets(
-    net: &mut Network,
-    packets: impl Iterator<Item = UdpPacket>,
-) {
+pub fn inject_udp_packets(net: &mut Network, packets: impl Iterator<Item = UdpPacket>) {
     for p in packets {
         net.inject_on_path(
             p.at,

@@ -18,7 +18,9 @@ use ups::transport::{inject_udp_flows, HeaderStamper};
 /// 40 Gbps spine tier.
 fn leaf_spine() -> Topology {
     let mut net = Network::new(TraceLevel::Hops);
-    let spines: Vec<_> = (0..2).map(|i| net.add_router(format!("spine{i}"))).collect();
+    let spines: Vec<_> = (0..2)
+        .map(|i| net.add_router(format!("spine{i}")))
+        .collect();
     let leaves: Vec<_> = (0..4).map(|i| net.add_router(format!("leaf{i}"))).collect();
 
     let mut core_links = Vec::new();

@@ -55,7 +55,10 @@ fn main() {
         println!(
             "{:<12} mouse FCTs: {:?} ms",
             scheme.label(),
-            mouse_fct.iter().map(|f| (f * 100.0).round() / 100.0).collect::<Vec<_>>()
+            mouse_fct
+                .iter()
+                .map(|f| (f * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -115,7 +118,10 @@ fn main() {
             Time::from_millis(15),
             None,
         );
-        let series: Vec<f64> = pts.iter().map(|p| (p.jain * 1000.0).round() / 1000.0).collect();
+        let series: Vec<f64> = pts
+            .iter()
+            .map(|p| (p.jain * 1000.0).round() / 1000.0)
+            .collect();
         println!("{:<12} Jain index per ms: {series:?}", scheme.label());
     }
 }

@@ -34,8 +34,14 @@ fn main() {
     // 3. Record the original schedule under Random scheduling, then
     //    replay the identical input under LSTF with
     //    slack = o(p) − i(p) − tmin(p).
-    let (schedule, report) =
-        replay_experiment(factory, &flows, SchedKind::Random, ReplayMode::lstf(), 42, 1500);
+    let (schedule, report) = replay_experiment(
+        factory,
+        &flows,
+        SchedKind::Random,
+        ReplayMode::lstf(),
+        42,
+        1500,
+    );
 
     println!(
         "recorded {} packets; max congestion points {}; mean slack {:.1}us",
@@ -54,5 +60,8 @@ fn main() {
     let mut topo = factory();
     let omni = ups::core::replay::replay_schedule(&mut topo, &schedule, ReplayMode::Omniscient);
     assert!(omni.perfect(), "Appendix B guarantees a perfect replay");
-    println!("omniscient replay: perfect ({} packets on time)", omni.total);
+    println!(
+        "omniscient replay: perfect ({} packets on time)",
+        omni.total
+    );
 }

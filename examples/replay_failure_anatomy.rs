@@ -28,7 +28,10 @@ fn main() {
     let hist = schedule.congestion_point_histogram();
     let total: usize = hist.iter().sum();
     for (k, &n) in hist.iter().enumerate() {
-        println!("  {k} congestion points: {:>6.2}%", 100.0 * n as f64 / total as f64);
+        println!(
+            "  {k} congestion points: {:>6.2}%",
+            100.0 * n as f64 / total as f64
+        );
     }
 
     for mode in [ReplayMode::lstf(), ReplayMode::lstf_preemptive()] {
@@ -60,11 +63,7 @@ fn main() {
             }
         }
         // The queueing-delay ratio story of Figure 1.
-        let below_one = report
-            .qdelay_ratios
-            .iter()
-            .filter(|&&r| r <= 1.0)
-            .count();
+        let below_one = report.qdelay_ratios.iter().filter(|&&r| r <= 1.0).count();
         println!(
             "  queueing-delay ratio <= 1 for {:.1}% of queued packets \
              (LSTF eliminates \"wasted waiting\")",

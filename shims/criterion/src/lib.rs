@@ -1,0 +1,232 @@
+//! Offline API-subset shim of the `criterion` crate.
+//!
+//! Implements the names the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`/`criterion_main!` —
+//! with a plain wall-clock measurement loop (one timed pass per sample,
+//! mean and min reported). No statistical analysis, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; carries default sample settings.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        };
+        eprintln!("group {}", group.name);
+        group
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark("", &id.into_benchmark_id(), sample_size, None, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Work-per-iteration label used to report a rate alongside the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// A named set of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &self.name,
+            &id.into_benchmark_id(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark name, optionally parameterized (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Handed to the benchmark closure; times the routine passed to `iter`.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+}
+
+fn run_benchmark<F>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    // Warm-up pass (untimed), then `sample_size` timed samples.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        total += bencher.elapsed;
+        min = min.min(bencher.elapsed);
+    }
+    let mean = total / sample_size as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", per_second(n, mean)),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" ({:.0} B/s)", per_second(n, mean))
+        }
+    });
+    eprintln!(
+        "bench {label}: mean {mean:?}, min {min:?} over {sample_size} samples{}",
+        rate.unwrap_or_default()
+    );
+}
+
+fn per_second(amount_per_iter: u64, mean: Duration) -> f64 {
+    if mean.is_zero() {
+        return f64::INFINITY;
+    }
+    amount_per_iter as f64 / mean.as_secs_f64()
+}
+
+/// Bundle benchmark functions into one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target. `cargo bench`
+/// passes flags like `--bench`; the shim ignores its argv.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -86,7 +86,11 @@ fn fig4_fairness_series_has_all_schemes() {
     }
     // FQ converges to near-perfect fairness.
     let fq = &series[1];
-    assert!(fq.1.last().unwrap().jain > 0.9, "FQ final {}", fq.1.last().unwrap().jain);
+    assert!(
+        fq.1.last().unwrap().jain > 0.9,
+        "FQ final {}",
+        fq.1.last().unwrap().jain
+    );
 }
 
 #[test]

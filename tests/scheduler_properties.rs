@@ -4,26 +4,18 @@
 
 use proptest::prelude::*;
 use ups::net::testutil::queued_full;
+use ups::net::Fifo;
 use ups::net::{EvictOutcome, Queued, Scheduler};
 use ups::sched::{
     drr::Drr, edf::edf, fifoplus::fifo_plus, fq::Fq, lifo::Lifo, lstf::lstf, prio::sjf,
     random::Random, srpt::Srpt, SchedKind,
 };
-use ups::net::Fifo;
 
 /// A generated packet description: (flow, slack, prio, enqueue ns).
 type Desc = (u64, i64, i64, u64);
 
 fn descs() -> impl Strategy<Value = Vec<Desc>> {
-    prop::collection::vec(
-        (
-            0u64..6,
-            0i64..2_000_000,
-            0i64..1_000,
-            0u64..1_000,
-        ),
-        1..60,
-    )
+    prop::collection::vec((0u64..6, 0i64..2_000_000, 0i64..1_000, 0u64..1_000), 1..60)
 }
 
 fn enqueue_all(s: &mut dyn Scheduler, items: &[Desc]) {
