@@ -6,10 +6,12 @@ use ups_bench::*;
 fn main() {
     let scale = Scale::from_args();
     println!(
-        "# Universal Packet Scheduling — full experiment suite ({})",
-        scale.label
+        "# Universal Packet Scheduling — full experiment suite ({}, jobs: {}, replicates: {})",
+        scale.label, scale.jobs, scale.replicates
     );
 
+    // Table 1 is sweep-backed: its grid runs on `scale.jobs` worker
+    // threads (see `ups-sweep`); the figures below are serial runners.
     print_replay_rows("Table 1: LSTF replayability", &table1(&scale));
 
     println!("\n=== Figure 1: queueing-delay ratio CDF ===");

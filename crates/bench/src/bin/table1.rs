@@ -10,7 +10,10 @@ use ups_bench::{print_replay_rows, table1, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Table 1 (scale: {})", scale.label);
+    println!(
+        "Table 1 (scale: {}, jobs: {}, replicates: {})",
+        scale.label, scale.jobs, scale.replicates
+    );
     let rows = table1(&scale);
     print_replay_rows("LSTF Replayability Results", &rows);
 }

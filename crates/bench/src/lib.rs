@@ -16,10 +16,14 @@
 //! | `ablation_lstf_key` | DESIGN.md ablation — last-bit vs pure-deadline keys |
 //! | `congestion_points` | §2.2 diagnostic — congestion points per packet |
 //! | `all_experiments` | everything above at the configured scale |
+//! | `sweep` | declarative parallel grid sweeps with JSON/CSV artifacts (lives at the workspace root; engine in `ups-sweep`) |
 //!
 //! Every binary accepts `--full` for paper-like scale (all runs are still
 //! laptop-sized) and `--seed N`; the default "quick" scale finishes each
-//! experiment in seconds.
+//! experiment in seconds. Sweep-backed experiments (`table1`,
+//! `all_experiments`, `sweep`) also take `--jobs N` (worker threads —
+//! output is byte-identical for every value) and `--replicates N`
+//! (seed replicates per grid cell, reported as mean ± stddev).
 
 pub mod runners;
 pub mod scale;

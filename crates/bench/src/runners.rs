@@ -10,58 +10,12 @@ use ups_metrics::{bucket_means, Cdf, FairnessPoint, SizeBuckets};
 use ups_net::TraceLevel;
 use ups_sched::{LstfKeyMode, SchedKind};
 use ups_sim::{Bandwidth, Dur, Time};
+use ups_sweep::{run_sweep, CellMetrics, SweepSpec};
 use ups_topo::internet2::{self, I2Config, I2Variant};
-use ups_topo::{fattree, rocketfuel, Topology};
 
-/// Topology selector for replay experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TopoKind {
-    /// Internet2 with one of the paper's bandwidth variants.
-    I2(I2Variant),
-    /// Synthetic RocketFuel (83 routers / 131 links).
-    RocketFuel,
-    /// Full-bisection fat-tree datacenter.
-    FatTree,
-}
-
-impl TopoKind {
-    /// Display label (matches Table 1's "Topology" column).
-    pub fn label(self) -> String {
-        match self {
-            TopoKind::I2(v) => v.label().to_string(),
-            TopoKind::RocketFuel => "RocketFuel".to_string(),
-            TopoKind::FatTree => "Datacenter".to_string(),
-        }
-    }
-
-    /// Build a fresh instance at the given scale.
-    pub fn build(self, scale: &Scale) -> Topology {
-        match self {
-            TopoKind::I2(variant) => internet2::build(
-                &I2Config {
-                    variant,
-                    edges_per_core: scale.edges_per_core,
-                    ..Default::default()
-                },
-                TraceLevel::Hops,
-            ),
-            TopoKind::RocketFuel => rocketfuel::build(
-                &rocketfuel::RocketFuelConfig {
-                    edges_per_core: (scale.edges_per_core / 2).max(1),
-                    ..Default::default()
-                },
-                TraceLevel::Hops,
-            ),
-            TopoKind::FatTree => fattree::build(
-                &fattree::FatTreeConfig {
-                    k: scale.fattree_k,
-                    ..Default::default()
-                },
-                TraceLevel::Hops,
-            ),
-        }
-    }
-}
+// The topology selector lives in `ups-sweep` now (it is grid
+// vocabulary); re-exported here so existing call sites keep working.
+pub use ups_sweep::TopoKind;
 
 /// One row of a replayability table.
 #[derive(Debug, Clone)]
@@ -90,6 +44,8 @@ pub struct ReplayRow {
 
 /// Record an original schedule and replay it; returns the row plus the
 /// raw report (for CDFs) and the recorded schedule (for diagnostics).
+/// The pipeline itself is `ups_sweep::record_and_replay`, so figure
+/// runners and the sweep engine cannot drift apart.
 pub fn run_replay(
     kind: TopoKind,
     scale: &Scale,
@@ -97,72 +53,72 @@ pub fn run_replay(
     original: SchedKind,
     mode: ReplayMode,
 ) -> (ReplayRow, ReplayReport, RecordedSchedule) {
-    let mut orig_topo = kind.build(scale);
-    let flows = default_udp_workload(&orig_topo, util, scale.horizon, scale.seed);
-    let schedule = record_original(&mut orig_topo, &flows, original, scale.seed, 1500);
-    drop(orig_topo);
-    let mut replay_topo = kind.build(scale);
-    let report = replay_schedule(&mut replay_topo, &schedule, mode);
-    let row = ReplayRow {
-        topo: kind.label(),
+    let coord = ups_sweep::CellCoord {
+        topo: kind,
+        sched: original,
         util,
-        original: original.label(),
-        mode: mode.label().to_string(),
-        total: report.total,
-        frac_overdue: report.frac_overdue(),
-        frac_gt_t: report.frac_overdue_gt_t(),
-        t_us: report.t.as_micros_f64(),
-        max_cp: schedule.max_congestion_points(),
-        mean_slack_us: schedule.mean_slack() / 1e6,
     };
+    let (report, schedule) = ups_sweep::record_and_replay(&coord, &scale.sim(), scale.seed, mode);
+    let row = replay_row(
+        kind.label(),
+        util,
+        original.label(),
+        mode.label().to_string(),
+        CellMetrics::of(&report, &schedule),
+    );
     (row, report, schedule)
 }
 
-/// Table 1: all scenario rows.
+/// Build a display row from the canonical metric reduction, so the
+/// figure/ablation runners report the exact same values (and unit
+/// conversions) as the sweep engine.
+fn replay_row(
+    topo: String,
+    util: f64,
+    original: &'static str,
+    mode: String,
+    m: CellMetrics,
+) -> ReplayRow {
+    ReplayRow {
+        topo,
+        util,
+        original,
+        mode,
+        total: m.total,
+        frac_overdue: m.frac_overdue,
+        frac_gt_t: m.frac_gt_t,
+        t_us: m.t_us,
+        max_cp: m.max_cp,
+        mean_slack_us: m.mean_slack_us,
+    }
+}
+
+/// Table 1: all scenario rows. A thin client of the sweep engine — the
+/// grid runs on `scale.jobs` worker threads with `scale.replicates`
+/// seed replicates per cell, and each row carries the per-cell means.
+/// With one replicate the rows are exactly the legacy serial values.
 pub fn table1(scale: &Scale) -> Vec<ReplayRow> {
-    let mut rows = Vec::new();
-    let lstf = ReplayMode::lstf();
-    // Rows 1-2: default topology, Random, utilization sweep.
-    for util in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        rows.push(
-            run_replay(
-                TopoKind::I2(I2Variant::Default1g10g),
-                scale,
-                util,
-                SchedKind::Random,
-                lstf,
-            )
-            .0,
-        );
-    }
-    // Row 3: bandwidth variants at 70%.
-    for variant in [I2Variant::Access1g1g, I2Variant::Access10g10g] {
-        rows.push(run_replay(TopoKind::I2(variant), scale, 0.7, SchedKind::Random, lstf).0);
-    }
-    // Row 4: other topologies at 70%.
-    for kind in [TopoKind::RocketFuel, TopoKind::FatTree] {
-        rows.push(run_replay(kind, scale, 0.7, SchedKind::Random, lstf).0);
-    }
-    // Row 5: original-scheduler sweep on the default topology.
-    for original in [
-        SchedKind::Fifo,
-        SchedKind::Fq,
-        SchedKind::Sjf,
-        SchedKind::Lifo,
-        SchedKind::FqFifoPlusMix,
-    ] {
-        rows.push(
-            run_replay(
-                TopoKind::I2(I2Variant::Default1g10g),
-                scale,
-                0.7,
-                original,
-                lstf,
-            )
-            .0,
-        );
-    }
-    rows
+    let spec = SweepSpec::table1()
+        .with_seed(scale.seed)
+        .with_replicates(scale.replicates);
+    let report = run_sweep(&spec, &scale.sim(), scale.jobs);
+    let mode = ReplayMode::lstf().label().to_string();
+    report
+        .results
+        .iter()
+        .map(|r| ReplayRow {
+            topo: r.coord.topo.label(),
+            util: r.coord.util,
+            original: r.coord.sched.label(),
+            mode: mode.clone(),
+            total: r.total.mean.round() as usize,
+            frac_overdue: r.frac_overdue.mean,
+            frac_gt_t: r.frac_gt_t.mean,
+            t_us: r.t_us.mean,
+            max_cp: r.max_cp.mean.round() as usize,
+            mean_slack_us: r.mean_slack_us.mean,
+        })
+        .collect()
 }
 
 /// Figure 1: per-original-scheduler CDFs of the queueing-delay ratio.
@@ -207,7 +163,7 @@ pub struct FctResult {
 pub fn fig2(scale: &Scale) -> (SizeBuckets, Vec<FctResult>) {
     let buckets = SizeBuckets::paper_fig2();
     let kind = TopoKind::I2(I2Variant::Default1g10g);
-    let topo = kind.build(scale);
+    let topo = kind.build(&scale.sim());
     let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
     drop(topo);
     let horizon = Time::ZERO + scale.horizon * 40 + Dur::from_secs(2);
@@ -223,7 +179,7 @@ pub fn fig2(scale: &Scale) -> (SizeBuckets, Vec<FctResult>) {
     let results = schemes
         .into_iter()
         .map(|scheme| {
-            let res = ups_core::run_fct(kind.build(scale), &flows, &scheme, buffer, horizon);
+            let res = ups_core::run_fct(kind.build(&scale.sim()), &flows, &scheme, buffer, horizon);
             let done: Vec<_> = res.iter().filter(|r| r.completed.is_some()).collect();
             let sizes: Vec<u64> = done.iter().map(|r| r.desc.pkts).collect();
             let fcts: Vec<f64> = done
@@ -267,7 +223,7 @@ pub struct TailResult {
 /// (≡ FIFO+), open-loop UDP so the load is identical.
 pub fn fig3(scale: &Scale) -> Vec<TailResult> {
     let kind = TopoKind::I2(I2Variant::Default1g10g);
-    let topo = kind.build(scale);
+    let topo = kind.build(&scale.sim());
     let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
     drop(topo);
     [
@@ -278,7 +234,8 @@ pub fn fig3(scale: &Scale) -> Vec<TailResult> {
     ]
     .into_iter()
     .map(|scheme| {
-        let delays = ups_core::run_tail_delays(kind.build(scale), &flows, &scheme, 1500, None);
+        let delays =
+            ups_core::run_tail_delays(kind.build(&scale.sim()), &flows, &scheme, 1500, None);
         let cdf = Cdf::new(delays);
         TailResult {
             label: scheme.label(),
@@ -365,7 +322,7 @@ pub fn ablation_preempt(scale: &Scale) -> Vec<ReplayRow> {
 /// candidate UPS.
 pub fn ablation_priority(scale: &Scale) -> Vec<ReplayRow> {
     let kind = TopoKind::I2(I2Variant::Default1g10g);
-    let mut orig_topo = kind.build(scale);
+    let mut orig_topo = kind.build(&scale.sim());
     let flows = default_udp_workload(&orig_topo, 0.7, scale.horizon, scale.seed);
     let schedule = record_original(&mut orig_topo, &flows, SchedKind::Random, scale.seed, 1500);
     drop(orig_topo);
@@ -377,20 +334,15 @@ pub fn ablation_priority(scale: &Scale) -> Vec<ReplayRow> {
     ]
     .into_iter()
     .map(|mode| {
-        let mut topo = kind.build(scale);
+        let mut topo = kind.build(&scale.sim());
         let report = replay_schedule(&mut topo, &schedule, mode);
-        ReplayRow {
-            topo: kind.label(),
-            util: 0.7,
-            original: "Random",
-            mode: mode.label().to_string(),
-            total: report.total,
-            frac_overdue: report.frac_overdue(),
-            frac_gt_t: report.frac_overdue_gt_t(),
-            t_us: report.t.as_micros_f64(),
-            max_cp: schedule.max_congestion_points(),
-            mean_slack_us: schedule.mean_slack() / 1e6,
-        }
+        replay_row(
+            kind.label(),
+            0.7,
+            "Random",
+            mode.label().to_string(),
+            CellMetrics::of(&report, &schedule),
+        )
     })
     .collect()
 }
@@ -427,7 +379,7 @@ pub fn congestion_points(scale: &Scale) -> Vec<(String, Vec<usize>, f64)> {
     ]
     .into_iter()
     .map(|kind| {
-        let mut topo = kind.build(scale);
+        let mut topo = kind.build(&scale.sim());
         let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
         let schedule = record_original(&mut topo, &flows, SchedKind::Random, scale.seed, 1500);
         (
@@ -482,6 +434,8 @@ mod tests {
             horizon: Dur::from_millis(2),
             fattree_k: 4,
             seed: 7,
+            jobs: 1,
+            replicates: 1,
             label: "tiny",
         }
     }

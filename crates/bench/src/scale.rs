@@ -1,6 +1,23 @@
 //! Experiment scale parsed from the command line.
 
 use ups_sim::Dur;
+use ups_sweep::SimScale;
+
+/// Flag reference (no `usage:` synopsis line, so binaries with extra
+/// flags — like `sweep` — can print their own synopsis above it).
+pub const SCALE_FLAGS: &str = "\
+scale flags:
+  --full          paper-like scale (default: quick)
+  --seed N        base RNG seed (default: 1)
+  --horizon-ms N  flow-arrival horizon in milliseconds
+  --edges N       edge routers per core router on WAN topologies
+  --jobs N        worker threads (default: available parallelism;
+                  output is identical for every value). Only sweep-
+                  backed experiments parallelize: sweep, table1,
+                  all_experiments' Table 1 — a no-op elsewhere.
+  --replicates N  seed replicates per grid cell, reported as
+                  mean +/- stddev (default: 1). Sweep-backed
+                  experiments only — a no-op elsewhere.";
 
 /// Knobs that trade fidelity for runtime.
 #[derive(Debug, Clone, Copy)]
@@ -14,8 +31,19 @@ pub struct Scale {
     pub fattree_k: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for sweep-backed experiments. Results are
+    /// byte-identical for every value; this only trades wall-clock.
+    pub jobs: usize,
+    /// Seed replicates per sweep cell (mean ± stddev aggregation).
+    pub replicates: usize,
     /// Human label for report headers.
     pub label: &'static str,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Scale {
@@ -28,6 +56,8 @@ impl Scale {
             horizon: Dur::from_millis(10),
             fattree_k: 4,
             seed: 1,
+            jobs: default_jobs(),
+            replicates: 1,
             label: "quick",
         }
     }
@@ -40,50 +70,77 @@ impl Scale {
             horizon: Dur::from_millis(40),
             fattree_k: 8,
             seed: 1,
+            jobs: default_jobs(),
+            replicates: 1,
             label: "full",
         }
     }
 
-    /// Parse from `std::env::args`: `--full`, `--seed N`,
-    /// `--horizon-ms N`, `--edges N`.
-    pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
+    /// The simulation-size subset the sweep engine needs.
+    pub fn sim(&self) -> SimScale {
+        SimScale {
+            edges_per_core: self.edges_per_core,
+            horizon: self.horizon,
+            fattree_k: self.fattree_k,
+            label: self.label,
+        }
+    }
+
+    /// Parse an argument vector (without the program name). Unknown
+    /// flags, bare arguments, and missing or unparseable values are
+    /// errors — not silently ignored.
+    pub fn parse(args: &[String]) -> Result<Scale, String> {
         let mut s = if args.iter().any(|a| a == "--full") {
             Scale::full()
         } else {
             Scale::quick()
         };
-        let mut it = args.iter().peekable();
+        let mut it = args.iter();
         while let Some(a) = it.next() {
-            let mut grab = |field: &mut u64| {
-                if let Some(v) = it.peek() {
-                    if let Ok(n) = v.parse::<u64>() {
-                        *field = n;
-                    }
-                }
+            let mut value = |flag: &str| -> Result<u64, String> {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{flag} requires a value"))?;
+                v.parse::<u64>()
+                    .map_err(|_| format!("{flag}: expected an integer, got `{v}`"))
             };
             match a.as_str() {
-                "--seed" => grab(&mut s.seed),
-                "--horizon-ms" => {
-                    let mut ms = s.horizon.as_ps() / ups_sim::PS_PER_MS;
-                    grab(&mut ms);
-                    s.horizon = Dur::from_millis(ms);
+                "--full" => {}
+                "--seed" => s.seed = value("--seed")?,
+                "--horizon-ms" => s.horizon = Dur::from_millis(value("--horizon-ms")?),
+                "--edges" => s.edges_per_core = value("--edges")?.max(1) as usize,
+                "--jobs" => s.jobs = value("--jobs")?.max(1) as usize,
+                "--replicates" => s.replicates = value("--replicates")?.max(1) as usize,
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown flag `{other}`"));
                 }
-                "--edges" => {
-                    let mut e = s.edges_per_core as u64;
-                    grab(&mut e);
-                    s.edges_per_core = e as usize;
-                }
-                _ => {}
+                other => return Err(format!("unexpected argument `{other}`")),
             }
         }
-        s
+        Ok(s)
+    }
+
+    /// Parse from `std::env::args`; print the error and usage, then
+    /// exit(2), on bad input.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Scale::parse(&args) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}\nusage: <experiment> [scale flags]\n{SCALE_FLAGS}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<Scale, String> {
+        Scale::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
 
     #[test]
     fn quick_is_smaller_than_full() {
@@ -93,5 +150,82 @@ mod tests {
         // Both use the paper's WAN topology size — replay quality depends
         // on that host-level statistical mixing.
         assert_eq!(q.edges_per_core, 10);
+    }
+
+    #[test]
+    fn empty_args_give_quick_defaults() {
+        let s = parse(&[]).unwrap();
+        assert_eq!(s.label, "quick");
+        assert_eq!(s.seed, 1);
+        assert_eq!(s.replicates, 1);
+        assert!(s.jobs >= 1);
+    }
+
+    #[test]
+    fn full_flag_and_values_are_consumed() {
+        let s = parse(&[
+            "--full",
+            "--seed",
+            "9",
+            "--horizon-ms",
+            "25",
+            "--edges",
+            "4",
+            "--jobs",
+            "3",
+            "--replicates",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(s.label, "full");
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.horizon, Dur::from_millis(25));
+        assert_eq!(s.edges_per_core, 4);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.replicates, 5);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn bare_argument_is_an_error() {
+        let err = parse(&["17"]).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse(&["--seed"]).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn unparseable_value_is_an_error() {
+        let err = parse(&["--jobs", "many"]).unwrap_err();
+        assert!(err.contains("expected an integer"), "{err}");
+        // The old parser silently ignored this and also treated the
+        // value as a bare argument; both are now rejected.
+        assert!(parse(&["--seed", "-3"]).is_err());
+    }
+
+    #[test]
+    fn zero_jobs_and_replicates_clamp_to_one() {
+        let s = parse(&["--jobs", "0", "--replicates", "0"]).unwrap();
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.replicates, 1);
+    }
+
+    #[test]
+    fn sim_subset_matches() {
+        let s = parse(&["--edges", "3", "--horizon-ms", "7"]).unwrap();
+        let sim = s.sim();
+        assert_eq!(sim.edges_per_core, 3);
+        assert_eq!(sim.horizon, Dur::from_millis(7));
+        assert_eq!(sim.fattree_k, s.fattree_k);
+        assert_eq!(sim.label, "quick");
     }
 }

@@ -7,4 +7,4 @@ pub mod fairness;
 pub mod stats;
 
 pub use fairness::{jain_index, throughput_fairness_series, FairnessPoint};
-pub use stats::{bucket_means, percentile, Cdf, SizeBuckets, Summary};
+pub use stats::{bucket_means, percentile, Cdf, SizeBuckets, Summary, Welford};

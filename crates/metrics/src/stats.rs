@@ -80,6 +80,66 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     Cdf::new(samples.to_vec()).quantile(p / 100.0)
 }
 
+/// Streaming mean/variance accumulator (Welford's online algorithm),
+/// numerically stable for long runs. Used by the sweep engine to
+/// aggregate per-seed replicates without holding samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Accumulate one sample. NaN is rejected (it would poison every
+    /// later statistic silently).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample in Welford input");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples accumulated so far.
+    pub fn count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0.0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation (0.0 for fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `stddev / sqrt(n)` (0.0 when empty).
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
 /// Five-number-ish summary.
 #[derive(Debug, Clone, Copy)]
 pub struct Summary {
@@ -87,6 +147,10 @@ pub struct Summary {
     pub n: usize,
     /// Mean.
     pub mean: f64,
+    /// Sample standard deviation (Welford; 0 for n < 2).
+    pub stddev: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
     /// Median.
     pub p50: f64,
     /// 99th percentile.
@@ -99,9 +163,15 @@ impl Summary {
     /// Summarize samples. Panics on empty input.
     pub fn of(samples: &[f64]) -> Summary {
         let cdf = Cdf::new(samples.to_vec());
+        let mut w = Welford::new();
+        for &x in samples {
+            w.push(x);
+        }
         Summary {
             n: cdf.len(),
             mean: cdf.mean(),
+            stddev: w.stddev(),
+            stderr: w.stderr(),
             p50: cdf.quantile(0.50),
             p99: cdf.quantile(0.99),
             max: cdf.quantile(1.0),
@@ -230,6 +300,56 @@ mod tests {
         assert_eq!(s.n, 5);
         assert_eq!(s.max, 100.0);
         assert_eq!(s.p50, 3.0);
+        assert!(s.stddev > 0.0);
+        assert!((s.stderr - s.stddev / 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_textbook_stddev() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((w.stddev() - (32.0 / 7.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_is_all_zeros() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        assert_eq!(w.stderr(), 0.0);
+    }
+
+    #[test]
+    fn welford_single_sample_has_zero_spread() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.stddev(), 0.0, "sample stddev undefined at n=1 → 0");
+        assert_eq!(w.stderr(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn welford_rejects_nan() {
+        Welford::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.stderr, 0.0);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Dependency-free JSON and CSV serialization for sweep reports, so
+//! results land in `target/sweep/*.{json,csv}` for the benchmarking
+//! trajectory instead of only stdout tables.
+//!
+//! Determinism contract: object keys render in insertion order and
+//! floats use Rust's shortest round-trip `Display`, so two structurally
+//! equal reports serialize to byte-identical artifacts.
+
+use crate::engine::{Stat, SweepReport, SweepResult};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A minimal JSON value with *ordered* object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also the rendering of non-finite numbers).
+    Null,
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// An unsigned integer (seeds, counts) — rendered without a dot.
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object members.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    write!(out, "{x}").expect("write to String");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(n) => write!(out, "{n}").expect("write to String"),
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_json_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("write to String"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn stat_json(s: &Stat) -> Json {
+    Json::obj(vec![
+        ("mean", Json::Num(s.mean)),
+        ("stddev", Json::Num(s.stddev)),
+        ("stderr", Json::Num(s.stderr)),
+    ])
+}
+
+fn cell_json(r: &SweepResult) -> Json {
+    Json::obj(vec![
+        ("topo", Json::Str(r.coord.topo.label())),
+        ("original", Json::Str(r.coord.sched.label().to_string())),
+        ("util", Json::Num(r.coord.util)),
+        ("replicates", Json::UInt(r.replicates as u64)),
+        ("total_packets", stat_json(&r.total)),
+        ("frac_overdue", stat_json(&r.frac_overdue)),
+        ("frac_overdue_gt_t", stat_json(&r.frac_gt_t)),
+        ("t_us", stat_json(&r.t_us)),
+        ("max_congestion_points", stat_json(&r.max_cp)),
+        ("mean_slack_us", stat_json(&r.mean_slack_us)),
+    ])
+}
+
+/// Quote a CSV field if it contains a comma, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl SweepReport {
+    /// The full report as a JSON document (ends with a newline).
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("scale", Json::Str(self.scale.clone())),
+            ("base_seed", Json::UInt(self.base_seed)),
+            ("replicates", Json::UInt(self.replicates as u64)),
+            (
+                "cells",
+                Json::Arr(self.results.iter().map(cell_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// The per-cell table as CSV: one header line, one line per cell,
+    /// mean and stddev columns for every metric.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "topo,original,util,replicates,\
+             total_mean,total_stddev,\
+             frac_overdue_mean,frac_overdue_stddev,\
+             frac_overdue_gt_t_mean,frac_overdue_gt_t_stddev,\
+             t_us_mean,t_us_stddev,\
+             max_cp_mean,max_cp_stddev,\
+             mean_slack_us_mean,mean_slack_us_stddev\n",
+        );
+        for r in &self.results {
+            let stats = [
+                &r.total,
+                &r.frac_overdue,
+                &r.frac_gt_t,
+                &r.t_us,
+                &r.max_cp,
+                &r.mean_slack_us,
+            ];
+            write!(
+                out,
+                "{},{},{},{}",
+                csv_field(&r.coord.topo.label()),
+                csv_field(r.coord.sched.label()),
+                r.coord.util,
+                r.replicates
+            )
+            .expect("write to String");
+            for s in stats {
+                write!(out, ",{},{}", s.mean, s.stddev).expect("write to String");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `<dir>/<name>.json` and `<dir>/<name>.csv` (creating `dir`
+    /// if needed); returns the two paths.
+    pub fn write(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{}.json", self.name));
+        let csv_path = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&json_path, self.to_json())?;
+        std::fs::write(&csv_path, self.to_csv())?;
+        Ok((json_path, csv_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_sweep_with;
+    use crate::grid::{Job, SweepSpec};
+    use crate::CellMetrics;
+
+    #[test]
+    fn json_renders_ordered_and_escaped() {
+        let v = Json::obj(vec![
+            ("b", Json::UInt(2)),
+            ("a", Json::Str("x\"y\n".to_string())),
+            ("arr", Json::Arr(vec![Json::Num(0.5), Json::Null])),
+            ("empty", Json::Obj(Vec::new())),
+        ]);
+        let s = v.render();
+        // Insertion order preserved: "b" before "a".
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+        assert!(s.contains("\"x\\\"y\\n\""));
+        assert!(s.contains("0.5"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    fn tiny_report() -> SweepReport {
+        let spec = SweepSpec::smoke().with_replicates(2);
+        run_sweep_with(&spec, "test", 1, |job: &Job| CellMetrics {
+            total: 10 * (job.cell + 1),
+            frac_overdue: 0.25,
+            frac_gt_t: 0.125,
+            t_us: 12.0,
+            max_cp: 1,
+            mean_slack_us: 3.5,
+        })
+    }
+
+    #[test]
+    fn report_serializations_have_expected_shape() {
+        let report = tiny_report();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"name\": \"smoke\""));
+        assert!(json.contains("\"frac_overdue\""));
+        assert!(json.contains("\"mean\": 0.25"));
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + report.results.len());
+        assert!(lines[0].starts_with("topo,original,util,replicates"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header/row column mismatch"
+        );
+    }
+
+    #[test]
+    fn write_creates_both_artifacts() {
+        let report = tiny_report();
+        // Keyed by pid so concurrent test runs on one machine don't race.
+        let dir =
+            std::env::temp_dir().join(format!("ups-sweep-artifact-test-{}", std::process::id()));
+        let (json_path, csv_path) = report.write(&dir).expect("write artifacts");
+        assert_eq!(
+            std::fs::read_to_string(&json_path).unwrap(),
+            report.to_json()
+        );
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), report.to_csv());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,104 @@
+//! Execution of a single sweep job: record the original schedule, replay
+//! it under LSTF, and report the cell's replayability metrics.
+
+use crate::grid::{CellCoord, SimScale};
+use ups_core::replay::{record_original, replay_schedule, ReplayMode, ReplayReport};
+use ups_core::workload::default_udp_workload;
+use ups_core::RecordedSchedule;
+
+/// Per-replicate measurements of one grid cell (the sweep analogue of
+/// `ups-bench`'s `ReplayRow`, without the display strings).
+#[derive(Debug, Clone, Copy)]
+pub struct CellMetrics {
+    /// Packets replayed.
+    pub total: usize,
+    /// Fraction overdue.
+    pub frac_overdue: f64,
+    /// Fraction overdue by more than `T`.
+    pub frac_gt_t: f64,
+    /// The threshold `T` in microseconds.
+    pub t_us: f64,
+    /// Largest congestion-point count in the original schedule.
+    pub max_cp: usize,
+    /// Mean slack (µs) in the original schedule.
+    pub mean_slack_us: f64,
+}
+
+/// The record-and-replay pipeline shared by the sweep engine and
+/// `ups-bench`'s `run_replay`: record `coord.sched`'s schedule on a
+/// fresh topology (default UDP workload, 1500-byte MTU), rebuild, and
+/// replay under `mode`. Pure in its arguments — same inputs, same
+/// outputs — which is what lets the pool run cells in any order.
+pub fn record_and_replay(
+    coord: &CellCoord,
+    sim: &SimScale,
+    seed: u64,
+    mode: ReplayMode,
+) -> (ReplayReport, RecordedSchedule) {
+    let mut orig_topo = coord.topo.build(sim);
+    let flows = default_udp_workload(&orig_topo, coord.util, sim.horizon, seed);
+    let schedule = record_original(&mut orig_topo, &flows, coord.sched, seed, 1500);
+    drop(orig_topo);
+    let mut replay_topo = coord.topo.build(sim);
+    let report = replay_schedule(&mut replay_topo, &schedule, mode);
+    (report, schedule)
+}
+
+impl CellMetrics {
+    /// The canonical reduction of a replay run to cell metrics — the
+    /// single home of the unit conversions (T in µs, slack ps → µs),
+    /// shared by the sweep engine and `ups-bench`'s row builders.
+    pub fn of(report: &ReplayReport, schedule: &RecordedSchedule) -> CellMetrics {
+        CellMetrics {
+            total: report.total,
+            frac_overdue: report.frac_overdue(),
+            frac_gt_t: report.frac_overdue_gt_t(),
+            t_us: report.t.as_micros_f64(),
+            max_cp: schedule.max_congestion_points(),
+            mean_slack_us: schedule.mean_slack() / 1e6,
+        }
+    }
+}
+
+/// Run one sweep job: [`record_and_replay`] under (non-preemptive)
+/// LSTF, reduced to the cell's replayability metrics.
+pub fn run_cell(coord: &CellCoord, sim: &SimScale, seed: u64) -> CellMetrics {
+    let (report, schedule) = record_and_replay(coord, sim, seed, ReplayMode::lstf());
+    CellMetrics::of(&report, &schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::TopoKind;
+    use ups_sched::SchedKind;
+    use ups_sim::Dur;
+    use ups_topo::internet2::I2Variant;
+
+    fn tiny() -> SimScale {
+        SimScale {
+            edges_per_core: 2,
+            horizon: Dur::from_millis(2),
+            fattree_k: 4,
+            label: "tiny",
+        }
+    }
+
+    #[test]
+    fn run_cell_is_deterministic_in_seed() {
+        let coord = CellCoord {
+            topo: TopoKind::I2(I2Variant::Default1g10g),
+            sched: SchedKind::Random,
+            util: 0.5,
+        };
+        let a = run_cell(&coord, &tiny(), 7);
+        let b = run_cell(&coord, &tiny(), 7);
+        assert!(a.total > 0);
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.frac_overdue, b.frac_overdue);
+        assert_eq!(a.mean_slack_us, b.mean_slack_us);
+        // A different seed draws a different workload.
+        let c = run_cell(&coord, &tiny(), 8);
+        assert_ne!(a.total, c.total);
+    }
+}

@@ -1,0 +1,190 @@
+//! The sweep engine: expand a spec into jobs, execute them on the
+//! worker pool, and aggregate replicates into per-cell statistics.
+
+use crate::cell::{run_cell, CellMetrics};
+use crate::grid::{CellCoord, Job, SimScale, SweepSpec};
+use crate::pool::run_indexed;
+use ups_metrics::Welford;
+
+/// Mean ± spread of one metric over a cell's seed replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replicate).
+    pub stddev: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+}
+
+impl Stat {
+    fn of(samples: impl IntoIterator<Item = f64>) -> Stat {
+        let mut w = Welford::new();
+        for x in samples {
+            w.push(x);
+        }
+        Stat {
+            mean: w.mean(),
+            stddev: w.stddev(),
+            stderr: w.stderr(),
+        }
+    }
+}
+
+/// One grid cell's aggregate over its seed replicates.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The grid coordinate.
+    pub coord: CellCoord,
+    /// Number of seed replicates aggregated.
+    pub replicates: usize,
+    /// Packets replayed.
+    pub total: Stat,
+    /// Fraction overdue.
+    pub frac_overdue: Stat,
+    /// Fraction overdue by more than `T`.
+    pub frac_gt_t: Stat,
+    /// The threshold `T` in microseconds.
+    pub t_us: Stat,
+    /// Largest congestion-point count in the original schedule.
+    pub max_cp: Stat,
+    /// Mean slack (µs) in the original schedule.
+    pub mean_slack_us: Stat,
+}
+
+/// A completed sweep: spec metadata plus one [`SweepResult`] per cell,
+/// in the spec's cell order. Contains no timing or worker-count
+/// information, so serializations are byte-identical across `--jobs N`.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Grid name (artifact file stem).
+    pub name: String,
+    /// Scale label the sweep ran at (`quick`, `full`, ...).
+    pub scale: String,
+    /// Seed of replicate 0.
+    pub base_seed: u64,
+    /// Replicates per cell.
+    pub replicates: usize,
+    /// Per-cell aggregates, in spec order.
+    pub results: Vec<SweepResult>,
+}
+
+/// Run `spec` with a caller-supplied job runner on up to `jobs` worker
+/// threads. The runner must be pure in the job (same job, same metrics)
+/// for the determinism guarantee to hold.
+pub fn run_sweep_with<F>(spec: &SweepSpec, scale: &str, jobs: usize, runner: F) -> SweepReport
+where
+    F: Fn(&Job) -> CellMetrics + Sync,
+{
+    // The field is pub, so guard against a hand-built spec with
+    // replicates 0 (chunks() would panic opaquely below).
+    let clamped;
+    let spec = if spec.replicates == 0 {
+        clamped = spec.clone().with_replicates(1);
+        &clamped
+    } else {
+        spec
+    };
+    let expanded = spec.jobs();
+    let measured = run_indexed(&expanded, jobs, |_, job| runner(job));
+    let results = spec
+        .cells
+        .iter()
+        .zip(measured.chunks(spec.replicates))
+        .map(|(&coord, reps)| SweepResult {
+            coord,
+            replicates: reps.len(),
+            total: Stat::of(reps.iter().map(|m| m.total as f64)),
+            frac_overdue: Stat::of(reps.iter().map(|m| m.frac_overdue)),
+            frac_gt_t: Stat::of(reps.iter().map(|m| m.frac_gt_t)),
+            t_us: Stat::of(reps.iter().map(|m| m.t_us)),
+            max_cp: Stat::of(reps.iter().map(|m| m.max_cp as f64)),
+            mean_slack_us: Stat::of(reps.iter().map(|m| m.mean_slack_us)),
+        })
+        .collect();
+    SweepReport {
+        name: spec.name.clone(),
+        scale: scale.to_string(),
+        base_seed: spec.base_seed,
+        replicates: spec.replicates,
+        results,
+    }
+}
+
+/// Run `spec`'s record-and-replay cells at `sim` scale on up to `jobs`
+/// worker threads. The aggregate report is byte-identical for any
+/// `jobs` value.
+pub fn run_sweep(spec: &SweepSpec, sim: &SimScale, jobs: usize) -> SweepReport {
+    run_sweep_with(spec, sim.label, jobs, |job| {
+        run_cell(&job.coord, sim, job.seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast synthetic runner: metrics derived arithmetically from the
+    /// grid coordinates, so engine behavior is testable without the
+    /// simulator.
+    fn synthetic(job: &Job) -> CellMetrics {
+        CellMetrics {
+            total: 100 + job.seed as usize,
+            frac_overdue: job.coord.util / 2.0 + job.replicate as f64 * 0.01,
+            frac_gt_t: job.coord.util / 4.0,
+            t_us: 12.0,
+            max_cp: job.cell,
+            mean_slack_us: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_replicates_per_cell() {
+        let spec = SweepSpec::smoke().with_replicates(3).with_seed(5);
+        let report = run_sweep_with(&spec, "test", 2, synthetic);
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.replicates, 3);
+        let r = &report.results[0];
+        assert_eq!(r.replicates, 3);
+        // Seeds 5, 6, 7 → totals 105, 106, 107 → mean 106, stddev 1.
+        assert_eq!(r.total.mean, 106.0);
+        assert!((r.total.stddev - 1.0).abs() < 1e-12);
+        // Constant across replicates → zero spread.
+        assert_eq!(r.t_us.mean, 12.0);
+        assert_eq!(r.t_us.stddev, 0.0);
+    }
+
+    #[test]
+    fn report_is_identical_for_any_worker_count() {
+        let spec = SweepSpec::table1().with_replicates(2);
+        let a = run_sweep_with(&spec, "test", 1, synthetic);
+        let b = run_sweep_with(&spec, "test", 8, synthetic);
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.frac_overdue, y.frac_overdue);
+            assert_eq!(x.total, y.total);
+            assert_eq!(x.max_cp, y.max_cp);
+        }
+    }
+
+    #[test]
+    fn hand_built_zero_replicates_is_clamped() {
+        let mut spec = SweepSpec::smoke();
+        spec.replicates = 0; // bypasses the with_replicates clamp
+        let report = run_sweep_with(&spec, "test", 1, synthetic);
+        assert_eq!(report.replicates, 1);
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.results[0].replicates, 1);
+    }
+
+    #[test]
+    fn single_replicate_has_zero_spread() {
+        let spec = SweepSpec::smoke();
+        let report = run_sweep_with(&spec, "test", 4, synthetic);
+        for r in &report.results {
+            assert_eq!(r.replicates, 1);
+            assert_eq!(r.frac_overdue.stddev, 0.0);
+            assert_eq!(r.frac_overdue.stderr, 0.0);
+        }
+    }
+}

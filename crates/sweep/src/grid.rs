@@ -1,0 +1,314 @@
+//! Grid vocabulary: topology selectors, cell coordinates, and the
+//! [`SweepSpec`] that expands a grid into independent jobs.
+
+use ups_net::TraceLevel;
+use ups_sched::SchedKind;
+use ups_sim::Dur;
+use ups_topo::internet2::{self, I2Config, I2Variant};
+use ups_topo::{fattree, rocketfuel, Topology};
+
+/// Simulation-size knobs a sweep cell needs to build its topology and
+/// workload. `ups-bench`'s `Scale` carries the CLI-facing superset and
+/// converts down via `Scale::sim()`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimScale {
+    /// Edge routers (and hosts) per core router on WAN topologies.
+    pub edges_per_core: usize,
+    /// Flow-arrival horizon for open-loop workloads.
+    pub horizon: Dur,
+    /// Fat-tree arity.
+    pub fattree_k: usize,
+    /// Human label for report headers and artifact metadata.
+    pub label: &'static str,
+}
+
+/// Topology selector for replay experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Internet2 with one of the paper's bandwidth variants.
+    I2(I2Variant),
+    /// Synthetic RocketFuel (83 routers / 131 links).
+    RocketFuel,
+    /// Full-bisection fat-tree datacenter.
+    FatTree,
+}
+
+impl TopoKind {
+    /// Display label (matches Table 1's "Topology" column).
+    pub fn label(self) -> String {
+        match self {
+            TopoKind::I2(v) => v.label().to_string(),
+            TopoKind::RocketFuel => "RocketFuel".to_string(),
+            TopoKind::FatTree => "Datacenter".to_string(),
+        }
+    }
+
+    /// Build a fresh instance at the given scale.
+    pub fn build(self, sim: &SimScale) -> Topology {
+        match self {
+            TopoKind::I2(variant) => internet2::build(
+                &I2Config {
+                    variant,
+                    edges_per_core: sim.edges_per_core,
+                    ..Default::default()
+                },
+                TraceLevel::Hops,
+            ),
+            TopoKind::RocketFuel => rocketfuel::build(
+                &rocketfuel::RocketFuelConfig {
+                    edges_per_core: (sim.edges_per_core / 2).max(1),
+                    ..Default::default()
+                },
+                TraceLevel::Hops,
+            ),
+            TopoKind::FatTree => fattree::build(
+                &fattree::FatTreeConfig {
+                    k: sim.fattree_k,
+                    ..Default::default()
+                },
+                TraceLevel::Hops,
+            ),
+        }
+    }
+}
+
+/// One cell of the sweep grid (the seed replicate is *not* part of the
+/// coordinate — replicates of the same cell aggregate into one
+/// [`crate::SweepResult`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCoord {
+    /// Topology under test.
+    pub topo: TopoKind,
+    /// Original scheduling algorithm whose schedule LSTF replays.
+    pub sched: SchedKind,
+    /// Target utilization of the most-loaded core link.
+    pub util: f64,
+}
+
+/// One unit of work: a cell coordinate plus a seed replicate.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Index of the cell in [`SweepSpec::cells`].
+    pub cell: usize,
+    /// Replicate number within the cell (0-based).
+    pub replicate: usize,
+    /// RNG seed for this replicate (`base_seed + replicate`).
+    pub seed: u64,
+    /// The grid coordinate.
+    pub coord: CellCoord,
+}
+
+/// A declarative sweep: a named list of grid cells, replicated over
+/// seeds. Expansion order is canonical (cell-major, then replicate), so
+/// the aggregate output is independent of execution order.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Grid name — becomes the artifact file stem (`<name>.json`).
+    pub name: String,
+    /// The grid cells, in presentation order.
+    pub cells: Vec<CellCoord>,
+    /// Seed replicates per cell.
+    pub replicates: usize,
+    /// Seed of replicate 0; replicate `r` runs with `base_seed + r`.
+    pub base_seed: u64,
+}
+
+impl SweepSpec {
+    /// An empty spec with the given name, one replicate, seed 1.
+    pub fn new(name: impl Into<String>) -> SweepSpec {
+        SweepSpec {
+            name: name.into(),
+            cells: Vec::new(),
+            replicates: 1,
+            base_seed: 1,
+        }
+    }
+
+    /// Cartesian grid: every topology × scheduler × utilization.
+    pub fn cartesian(
+        name: impl Into<String>,
+        topos: &[TopoKind],
+        scheds: &[SchedKind],
+        utils: &[f64],
+    ) -> SweepSpec {
+        let mut spec = SweepSpec::new(name);
+        for &topo in topos {
+            for &sched in scheds {
+                for &util in utils {
+                    spec.cells.push(CellCoord { topo, sched, util });
+                }
+            }
+        }
+        spec
+    }
+
+    /// The paper's Table 1 grid, in the table's row order: a utilization
+    /// sweep under Random, the bandwidth variants, the other topologies,
+    /// and the original-scheduler sweep.
+    pub fn table1() -> SweepSpec {
+        let i2 = TopoKind::I2(I2Variant::Default1g10g);
+        let mut spec = SweepSpec::new("table1");
+        for util in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            spec.cells.push(CellCoord {
+                topo: i2,
+                sched: SchedKind::Random,
+                util,
+            });
+        }
+        for variant in [I2Variant::Access1g1g, I2Variant::Access10g10g] {
+            spec.cells.push(CellCoord {
+                topo: TopoKind::I2(variant),
+                sched: SchedKind::Random,
+                util: 0.7,
+            });
+        }
+        for topo in [TopoKind::RocketFuel, TopoKind::FatTree] {
+            spec.cells.push(CellCoord {
+                topo,
+                sched: SchedKind::Random,
+                util: 0.7,
+            });
+        }
+        for sched in [
+            SchedKind::Fifo,
+            SchedKind::Fq,
+            SchedKind::Sjf,
+            SchedKind::Lifo,
+            SchedKind::FqFifoPlusMix,
+        ] {
+            spec.cells.push(CellCoord {
+                topo: i2,
+                sched,
+                util: 0.7,
+            });
+        }
+        spec
+    }
+
+    /// A 2-cell grid for CI smoke runs: the default topology under
+    /// Random at 30% and 70% utilization.
+    pub fn smoke() -> SweepSpec {
+        SweepSpec::cartesian(
+            "smoke",
+            &[TopoKind::I2(I2Variant::Default1g10g)],
+            &[SchedKind::Random],
+            &[0.3, 0.7],
+        )
+    }
+
+    /// Table 1 rows 1-2 only: the utilization sweep under Random.
+    pub fn util_grid() -> SweepSpec {
+        SweepSpec::cartesian(
+            "util",
+            &[TopoKind::I2(I2Variant::Default1g10g)],
+            &[SchedKind::Random],
+            &[0.1, 0.3, 0.5, 0.7, 0.9],
+        )
+    }
+
+    /// Table 1 row 5 plus Random: the original-scheduler sweep at 70%.
+    pub fn sched_grid() -> SweepSpec {
+        SweepSpec::cartesian(
+            "sched",
+            &[TopoKind::I2(I2Variant::Default1g10g)],
+            &[
+                SchedKind::Random,
+                SchedKind::Fifo,
+                SchedKind::Fq,
+                SchedKind::Sjf,
+                SchedKind::Lifo,
+                SchedKind::FqFifoPlusMix,
+            ],
+            &[0.7],
+        )
+    }
+
+    /// Table 1 rows 3-4: every topology family and variant at 70%.
+    pub fn topo_grid() -> SweepSpec {
+        SweepSpec::cartesian(
+            "topo",
+            &[
+                TopoKind::I2(I2Variant::Default1g10g),
+                TopoKind::I2(I2Variant::Access1g1g),
+                TopoKind::I2(I2Variant::Access10g10g),
+                TopoKind::RocketFuel,
+                TopoKind::FatTree,
+            ],
+            &[SchedKind::Random],
+            &[0.7],
+        )
+    }
+
+    /// Set the replicate count (builder style).
+    pub fn with_replicates(mut self, replicates: usize) -> SweepSpec {
+        self.replicates = replicates.max(1);
+        self
+    }
+
+    /// Set the base seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> SweepSpec {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Expand into jobs: cell-major, replicate-minor, so chunking the
+    /// result by `replicates` groups each cell's replicates together.
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.cells.len() * self.replicates);
+        for (cell, &coord) in self.cells.iter().enumerate() {
+            for replicate in 0..self.replicates {
+                jobs.push(Job {
+                    cell,
+                    replicate,
+                    seed: self.base_seed + replicate as u64,
+                    coord,
+                });
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_fourteen_cells() {
+        let spec = SweepSpec::table1();
+        assert_eq!(spec.cells.len(), 14);
+        // Row order matches the paper's table: utilization sweep first.
+        assert_eq!(spec.cells[0].util, 0.1);
+        assert_eq!(spec.cells[4].util, 0.9);
+        assert_eq!(spec.cells[8].topo, TopoKind::FatTree);
+        assert_eq!(spec.cells[13].sched, SchedKind::FqFifoPlusMix);
+    }
+
+    #[test]
+    fn jobs_expand_cell_major_with_seed_offsets() {
+        let spec = SweepSpec::smoke().with_replicates(3).with_seed(10);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!((jobs[0].cell, jobs[0].replicate, jobs[0].seed), (0, 0, 10));
+        assert_eq!((jobs[2].cell, jobs[2].replicate, jobs[2].seed), (0, 2, 12));
+        assert_eq!((jobs[3].cell, jobs[3].replicate, jobs[3].seed), (1, 0, 10));
+        assert_eq!(jobs[3].coord.util, 0.7);
+    }
+
+    #[test]
+    fn cartesian_expands_all_combinations() {
+        let spec = SweepSpec::cartesian(
+            "x",
+            &[TopoKind::RocketFuel, TopoKind::FatTree],
+            &[SchedKind::Fifo, SchedKind::Lifo, SchedKind::Random],
+            &[0.5, 0.9],
+        );
+        assert_eq!(spec.cells.len(), 12);
+        assert_eq!(spec.replicates, 1);
+    }
+
+    #[test]
+    fn replicates_clamp_to_at_least_one() {
+        assert_eq!(SweepSpec::smoke().with_replicates(0).replicates, 1);
+    }
+}

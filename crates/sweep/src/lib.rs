@@ -1,0 +1,36 @@
+//! `ups-sweep` — a parallel, deterministic experiment-sweep engine.
+//!
+//! Table 1 of the paper is a grid — topology × original scheduler ×
+//! link-speed variant × utilization — and statistical rigor wants every
+//! cell replicated over several seeds. Running that serially in one
+//! thread does not scale, so this crate turns the harness into a
+//! declarative sweep engine:
+//!
+//! * [`SweepSpec`] expands a grid of [`CellCoord`]s (topology, original
+//!   scheduler, utilization) × seed replicates into independent [`Job`]s;
+//! * [`pool::run_indexed`] executes jobs on a scoped-thread worker pool
+//!   (std-only — no external dependencies) that claims work from a
+//!   shared atomic cursor and keys every result to its grid coordinates,
+//!   so the aggregate output is **byte-identical regardless of
+//!   `--jobs N`**;
+//! * [`run_sweep`] aggregates per-replicate [`CellMetrics`] into a
+//!   [`SweepResult`] per cell — mean ± stddev over seeds via
+//!   [`ups_metrics::Welford`];
+//! * [`artifact`] serializes the resulting [`SweepReport`] with a
+//!   hand-rolled, dependency-free JSON and CSV writer so results land
+//!   in `target/sweep/*.json` instead of only stdout tables.
+//!
+//! The `sweep` binary at the workspace root (`cargo run --release --bin
+//! sweep`) is the CLI; `ups-bench`'s `table1`/`all_experiments` are thin
+//! clients of [`run_sweep`].
+
+pub mod artifact;
+pub mod cell;
+pub mod engine;
+pub mod grid;
+pub mod pool;
+
+pub use artifact::Json;
+pub use cell::{record_and_replay, run_cell, CellMetrics};
+pub use engine::{run_sweep, run_sweep_with, Stat, SweepReport, SweepResult};
+pub use grid::{CellCoord, Job, SimScale, SweepSpec, TopoKind};

@@ -1,0 +1,125 @@
+//! A deterministic scoped-thread worker pool (std-only — the build
+//! container has no registry access, so no rayon).
+//!
+//! Workers claim items from a shared atomic cursor, so load balances
+//! dynamically like work stealing, but every result is keyed to its
+//! item index: the returned `Vec` is in item order **regardless of the
+//! worker count or completion order**. That index-keying is what makes
+//! sweep artifacts byte-identical across `--jobs N`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `f(i, &items[i])` for every item on up to `jobs` worker threads
+/// and return the results in item order.
+///
+/// `jobs` is clamped to `1..=items.len()`; `jobs == 1` runs inline on
+/// the caller's thread. If `f` panics, the other workers stop claiming
+/// new items (each finishes at most its current one) and the panic
+/// propagates to the caller.
+pub fn run_indexed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, items.len());
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                while !panicked.load(Ordering::Relaxed) {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    // Catch so sibling workers see the flag and stop
+                    // claiming (a full-scale queue would otherwise drain
+                    // for minutes first), then re-raise: the scope
+                    // propagates the original panic to the caller.
+                    match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                        Ok(r) => done.lock().expect("pool poisoned").push((i, r)),
+                        Err(payload) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            resume_unwind(payload);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut pairs = done.into_inner().expect("pool poisoned");
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_for_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let got = run_indexed(&items, jobs, |_, &x| {
+                // Stagger completion so out-of-order finishes are likely.
+                if x % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                x * x
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_item_position() {
+        let items = ["a", "b", "c"];
+        let got = run_indexed(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u32> = run_indexed(&[] as &[u8], 4, |_, _| 1);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        let got = run_indexed(&[1, 2, 3], 0, |_, &x| x + 1);
+        assert_eq!(got, [2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_stops_the_queue() {
+        let ran = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(&items, 2, |_, &x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    panic!("boom");
+                }
+                // Slow non-panicking jobs so the surviving worker would
+                // visibly drain the queue if the stop flag were broken.
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert!(
+            ran.load(Ordering::Relaxed) < items.len(),
+            "queue should stop draining after a panic"
+        );
+    }
+}

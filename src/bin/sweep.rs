@@ -1,0 +1,105 @@
+//! `sweep` — the declarative, parallel experiment-sweep CLI.
+//!
+//! Expands a named grid (default: the paper's Table 1) into cells ×
+//! seed replicates, executes the jobs on a scoped-thread worker pool,
+//! prints per-cell mean ± stddev, and writes JSON + CSV artifacts under
+//! `target/sweep/` (override with `--out DIR`). The artifacts are
+//! byte-identical for every `--jobs` value.
+//!
+//! ```sh
+//! cargo run --release --bin sweep -- --jobs 4 --replicates 3
+//! cargo run --release --bin sweep -- --grid smoke --jobs 2
+//! ```
+
+use std::path::PathBuf;
+use ups_bench::Scale;
+use ups_sweep::{run_sweep, SweepReport, SweepSpec};
+
+const GRIDS: &str = "table1 (default), smoke, util, sched, topo";
+
+fn usage_exit(err: &str) -> ! {
+    eprintln!(
+        "error: {err}\n\
+         usage: sweep [--grid NAME] [--out DIR] [scale flags]\n  \
+         --grid NAME  grid to run: {GRIDS}\n  \
+         --out DIR    artifact directory (default: target/sweep)\n\
+         {}",
+        ups_bench::scale::SCALE_FLAGS
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    // Split off the sweep-specific flags; everything else is scale.
+    let mut grid = "table1".to_string();
+    let mut out = PathBuf::from("target/sweep");
+    let mut scale_args = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--grid" => match it.next() {
+                Some(v) => grid = v,
+                None => usage_exit("--grid requires a value"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => usage_exit("--out requires a value"),
+            },
+            _ => scale_args.push(a),
+        }
+    }
+    let scale = match Scale::parse(&scale_args) {
+        Ok(s) => s,
+        Err(e) => usage_exit(&e),
+    };
+    let spec = match grid.as_str() {
+        "table1" => SweepSpec::table1(),
+        "smoke" => SweepSpec::smoke(),
+        "util" => SweepSpec::util_grid(),
+        "sched" => SweepSpec::sched_grid(),
+        "topo" => SweepSpec::topo_grid(),
+        other => usage_exit(&format!("unknown grid `{other}` (choose from: {GRIDS})")),
+    }
+    .with_seed(scale.seed)
+    .with_replicates(scale.replicates);
+
+    println!(
+        "sweep `{}`: {} cells x {} replicate(s) = {} jobs on {} worker(s), scale {}",
+        spec.name,
+        spec.cells.len(),
+        spec.replicates,
+        spec.cells.len() * spec.replicates,
+        scale.jobs,
+        scale.label
+    );
+    let report = run_sweep(&spec, &scale.sim(), scale.jobs);
+    print_report(&report);
+    match report.write(&out) {
+        Ok((json, csv)) => println!("\nwrote {} and {}", json.display(), csv.display()),
+        Err(e) => {
+            eprintln!("error: writing artifacts to {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_report(report: &SweepReport) {
+    println!(
+        "\n{:<18} {:>5} {:<9} {:>9} {:>22} {:>22} {:>14}",
+        "Topology", "Util", "Original", "Packets", "FracOverdue", "Frac>T", "MeanSlack(us)"
+    );
+    for r in &report.results {
+        println!(
+            "{:<18} {:>4.0}% {:<9} {:>9.0} {:>12.6} ±{:>8.6} {:>12.6} ±{:>8.6} {:>14.1}",
+            r.coord.topo.label(),
+            r.coord.util * 100.0,
+            r.coord.sched.label(),
+            r.total.mean,
+            r.frac_overdue.mean,
+            r.frac_overdue.stddev,
+            r.frac_gt_t.mean,
+            r.frac_gt_t.stddev,
+            r.mean_slack_us.mean
+        );
+    }
+}

@@ -18,10 +18,14 @@
 //! * [`transport`] — open-loop UDP and a compact TCP Reno;
 //! * [`metrics`] — CDFs, percentiles, Jain fairness;
 //! * [`core`] — the replay engine, slack-initialization heuristics,
-//!   omniscient UPS, and the appendix counterexamples.
+//!   omniscient UPS, and the appendix counterexamples;
+//! * [`sweep`] — the parallel, deterministic experiment-sweep engine
+//!   (grid expansion, scoped-thread worker pool, JSON/CSV artifacts).
 //!
 //! Start with `examples/quickstart.rs`; the full experiment suite lives
-//! in `crates/bench` (one binary per table/figure of the paper).
+//! in `crates/bench` (one binary per table/figure of the paper), and
+//! `cargo run --release --bin sweep` runs grid sweeps in parallel with
+//! structured artifacts under `target/sweep/`.
 
 pub use ups_core as core;
 pub use ups_flowgen as flowgen;
@@ -29,5 +33,6 @@ pub use ups_metrics as metrics;
 pub use ups_net as net;
 pub use ups_sched as sched;
 pub use ups_sim as sim;
+pub use ups_sweep as sweep;
 pub use ups_topo as topo;
 pub use ups_transport as transport;

@@ -15,12 +15,17 @@ fn tiny() -> Scale {
         horizon: Dur::from_millis(2),
         fattree_k: 4,
         seed: 3,
+        // table1 routes through the ups-sweep engine, so jobs > 1 makes
+        // this suite exercise the parallel worker pool under `cargo test`.
+        jobs: 4,
+        replicates: 1,
         label: "tiny",
     }
 }
 
 #[test]
 fn table1_produces_all_fourteen_rows() {
+    // Runs the Table-1 grid through the sweep engine on 4 workers.
     let rows = table1(&tiny());
     assert_eq!(rows.len(), 14);
     for r in &rows {

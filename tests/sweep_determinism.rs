@@ -1,0 +1,48 @@
+//! The sweep engine's central guarantee: aggregate artifacts are
+//! byte-identical regardless of the worker count, because every result
+//! is keyed to its grid coordinates rather than completion order.
+
+use ups_bench::Scale;
+use ups_sweep::{run_sweep, SweepSpec};
+
+/// ISSUE 2 acceptance: at `Scale::quick` with 2 replicates, the
+/// serialized JSON (and CSV) artifact from `--jobs 1` is byte-identical
+/// to `--jobs 4`. Uses the 2-cell smoke grid so the test stays fast.
+#[test]
+fn quick_scale_artifacts_are_identical_across_worker_counts() {
+    let sim = Scale::quick().sim();
+    let spec = SweepSpec::smoke().with_replicates(2);
+    let serial = run_sweep(&spec, &sim, 1);
+    let parallel = run_sweep(&spec, &sim, 4);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "JSON artifacts differ"
+    );
+    assert_eq!(serial.to_csv(), parallel.to_csv(), "CSV artifacts differ");
+}
+
+/// Replicates draw distinct workloads (different seeds) yet aggregate
+/// deterministically: the mean sits between per-seed extremes and the
+/// spread is finite and reproducible.
+#[test]
+fn replicate_aggregation_is_deterministic_and_sane() {
+    let mut sim = Scale::quick().sim();
+    sim.edges_per_core = 2; // tiny topology keeps this test fast
+    let spec = SweepSpec::smoke().with_replicates(3).with_seed(5);
+    let a = run_sweep(&spec, &sim, 2);
+    let b = run_sweep(&spec, &sim, 3);
+    assert_eq!(a.to_json(), b.to_json());
+    for cell in &a.results {
+        assert_eq!(cell.replicates, 3);
+        assert!(cell.total.mean > 0.0);
+        // Different seeds → different packet counts → nonzero spread.
+        assert!(
+            cell.total.stddev > 0.0,
+            "replicates should differ: {:?}",
+            cell.total
+        );
+        assert!(cell.frac_overdue.stddev.is_finite());
+        assert!(cell.frac_overdue.stderr <= cell.frac_overdue.stddev);
+    }
+}
