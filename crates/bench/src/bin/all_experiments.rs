@@ -10,49 +10,81 @@ fn main() {
         scale.label, scale.jobs, scale.replicates
     );
 
-    // Table 1 is sweep-backed: its grid runs on `scale.jobs` worker
-    // threads (see `ups-sweep`); the figures below are serial runners.
+    // Table 1 and all four figures are sweep-backed: every grid runs on
+    // `scale.jobs` worker threads with `scale.replicates` seed
+    // replicates per cell (see `ups-sweep`); only the ablations and the
+    // congestion-point diagnostic below remain serial single-seed runs.
     print_replay_rows("Table 1: LSTF replayability", &table1(&scale));
 
     println!("\n=== Figure 1: queueing-delay ratio CDF ===");
-    for (label, cdf) in fig1(&scale) {
+    let f1 = fig1_report(&scale);
+    // Look the axis points up by value, not position — the axis shape
+    // belongs to fig1_ratio_axis(), not to this summary.
+    let at_ratio_1 = f1
+        .axis
+        .xs
+        .iter()
+        .position(|&x| x == 1.0)
+        .expect("fig1 axis covers ratio 1.0");
+    for r in &f1.results {
+        let ratio1 = &r.points[at_ratio_1];
         println!(
-            "{label:<10} n={:<8} P[ratio<=1]={:.3} median={:.3} p90={:.3}",
-            cdf.len(),
-            cdf.at(1.0),
-            cdf.quantile(0.5),
-            cdf.quantile(0.9)
+            "{:<10} n={:<8.0} P[ratio<=1]={:.3}±{:.3} median={:.3}±{:.3} p90={:.3}±{:.3}",
+            r.series,
+            r.scalars[0].mean,
+            ratio1.mean,
+            ratio1.stddev,
+            r.scalars[1].mean,
+            r.scalars[1].stddev,
+            r.scalars[2].mean,
+            r.scalars[2].stddev
         );
     }
 
     println!("\n=== Figure 2: mean FCT ===");
-    let (_, results) = fig2(&scale);
-    for r in &results {
+    for r in &fig2_report(&scale).results {
         println!(
-            "{:<12} mean FCT {:.4}s ({}/{} flows completed)",
-            r.label, r.mean_fct, r.completed.0, r.completed.1
+            "{:<12} mean FCT {:.4}±{:.4}s ({:.0}/{:.0} flows completed)",
+            r.series, r.scalars[0].mean, r.scalars[0].stddev, r.scalars[1].mean, r.scalars[2].mean
         );
     }
 
     println!("\n=== Figure 3: tail packet delays ===");
-    for r in fig3(&scale) {
+    let f3 = fig3_report(&scale);
+    let percentile = |p: f64| {
+        f3.axis
+            .xs
+            .iter()
+            .position(|&x| x == p)
+            .unwrap_or_else(|| panic!("fig3 axis covers p{p}"))
+    };
+    let (p99, p999) = (percentile(99.0), percentile(99.9));
+    for r in &f3.results {
         println!(
-            "{:<14} mean {:.6}s p99 {:.6}s p99.9 {:.6}s",
-            r.label, r.mean, r.p99, r.p999
+            "{:<14} mean {:.6}s p99 {:.6}±{:.6}s p99.9 {:.6}±{:.6}s",
+            r.series,
+            r.scalars[0].mean,
+            r.points[p99].mean,
+            r.points[p99].stddev,
+            r.points[p999].mean,
+            r.points[p999].stddev
         );
     }
 
     println!("\n=== Figure 4: fairness convergence (final Jain index) ===");
-    for (label, pts) in fig4(&scale) {
-        let last = pts.last().expect("no points");
-        let half = &pts[pts.len() / 2];
+    let f4 = fig4_report(&scale);
+    for r in &f4.results {
+        let mid = &r.points[r.points.len() / 2];
+        let last = r.points.last().expect("no windows");
         println!(
-            "{:<16} jain@{}ms={:.4} jain@{}ms={:.4}",
-            label,
-            pts.len() / 2 + 1,
-            half.jain,
-            pts.len(),
-            last.jain
+            "{:<16} jain@{}ms={:.4}±{:.4} jain@{}ms={:.4}±{:.4}",
+            r.series,
+            r.points.len() / 2 + 1,
+            mid.mean,
+            mid.stddev,
+            r.points.len(),
+            last.mean,
+            last.stddev
         );
     }
 

@@ -1,27 +1,19 @@
 //! Figure 1 — CDF of the ratio of queueing delay (LSTF replay :
 //! original schedule) on the default Internet2 topology at 70%
 //! utilization, for six original scheduling algorithms.
+//!
+//! A thin client of the `ups-sweep` engine: `--replicates N` runs every
+//! original scheduler at N seeds on `--jobs` workers and reports mean ±
+//! stddev per ratio point; JSON/CSV artifacts land under `target/sweep/`
+//! (or `--out DIR`) and are byte-identical for every `--jobs` value.
 
-use ups_bench::{fig1, Scale};
+use ups_bench::{fig1_report, print_fig_report, write_fig_artifacts, Scale};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 1 (scale: {})", scale.label);
-    let curves = fig1(&scale);
-    // Print the CDF value at fixed ratio points, one column per ratio.
-    let xs: Vec<f64> = (0..=20).map(|i| i as f64 * 0.1).collect();
-    print!("{:<10}", "ratio");
-    for x in &xs {
-        print!(" {x:>6.1}");
-    }
-    println!();
-    for (label, cdf) in &curves {
-        print!("{label:<10}");
-        for x in &xs {
-            print!(" {:>6.3}", cdf.at(*x));
-        }
-        println!("   (n={}, median={:.3})", cdf.len(), cdf.quantile(0.5));
-    }
+    let (scale, out) = Scale::from_args_with_out();
+    let report = fig1_report(&scale);
+    print_fig_report(&report);
     println!("\nPaper: most packets see a *smaller* queueing delay in the");
     println!("LSTF replay than in the original (CDF > 0.5 at ratio 1.0).");
+    write_fig_artifacts(&report, &out);
 }

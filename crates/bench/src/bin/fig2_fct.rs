@@ -2,35 +2,19 @@
 //! default Internet2 topology at 70% utilization; TCP with 5 MB router
 //! buffers. Paper means: FIFO 0.288s, SRPT 0.208s, SJF 0.194s,
 //! LSTF 0.195s (shape: LSTF ≈ SJF ≈ SRPT ≪ FIFO).
+//!
+//! A thin client of the `ups-sweep` engine: `--replicates N` runs every
+//! scheme at N seeds on `--jobs` workers and reports mean ± stddev per
+//! size bucket; JSON/CSV artifacts land under `target/sweep/` (or
+//! `--out DIR`) and are byte-identical for every `--jobs` value.
 
-use ups_bench::{fig2, Scale};
+use ups_bench::{fig2_report, print_fig_report, write_fig_artifacts, Scale};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 2 (scale: {})", scale.label);
-    let (buckets, results) = fig2(&scale);
-    print!("{:<14}", "size(pkts)");
-    for r in &results {
-        print!(" {:>12}", r.label);
-    }
-    println!();
-    for b in 0..buckets.count() {
-        print!("{:<14}", buckets.label(b));
-        for r in &results {
-            let (mean, n) = r.buckets[b];
-            if n == 0 {
-                print!(" {:>12}", "-");
-            } else {
-                print!(" {:>12.5}", mean);
-            }
-        }
-        println!();
-    }
-    println!();
-    for r in &results {
-        println!(
-            "{:<12} mean FCT {:.4}s over {}/{} completed flows",
-            r.label, r.mean_fct, r.completed.0, r.completed.1
-        );
-    }
+    let (scale, out) = Scale::from_args_with_out();
+    let report = fig2_report(&scale);
+    print_fig_report(&report);
+    println!("\n(bucket rows are mean FCT in seconds; a 0 mean marks a");
+    println!("bucket with no completed flows in a replicate)");
+    write_fig_artifacts(&report, &out);
 }

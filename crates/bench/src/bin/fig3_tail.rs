@@ -2,40 +2,20 @@
 //! (identical to FIFO+), UDP at 70% on the default Internet2 topology.
 //! Paper: FIFO mean 0.0780s / p99 0.2142s; LSTF mean 0.0786s /
 //! p99 0.1958s (shape: slightly higher mean, lower tail).
+//!
+//! A thin client of the `ups-sweep` engine: `--replicates N` runs both
+//! schemes at N seeds on `--jobs` workers and reports mean ± stddev per
+//! percentile; JSON/CSV artifacts land under `target/sweep/` (or
+//! `--out DIR`) and are byte-identical for every `--jobs` value.
 
-use ups_bench::{fig3, Scale};
+use ups_bench::{fig3_report, print_fig_report, write_fig_artifacts, Scale};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 3 (scale: {})", scale.label);
-    let results = fig3(&scale);
-    println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>9}",
-        "scheme", "mean(s)", "p99(s)", "p99.9(s)", "max(s)", "packets"
-    );
-    for r in &results {
-        println!(
-            "{:<14} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>9}",
-            r.label,
-            r.mean,
-            r.p99,
-            r.p999,
-            r.max,
-            r.cdf.len()
-        );
-    }
-    // CCDF at round delay multiples of the FIFO p99.
-    if let [fifo, lstf] = &results[..] {
-        println!("\nCCDF (fraction of packets with delay > x):");
-        println!("{:>12} {:>12} {:>12}", "x(s)", "FIFO", "LSTF");
-        for k in 1..=10 {
-            let x = fifo.p99 * k as f64 / 5.0;
-            println!(
-                "{:>12.6} {:>12.2e} {:>12.2e}",
-                x,
-                fifo.cdf.ccdf_at(x),
-                lstf.cdf.ccdf_at(x)
-            );
-        }
-    }
+    let (scale, out) = Scale::from_args_with_out();
+    let report = fig3_report(&scale);
+    print_fig_report(&report);
+    println!("\n(rows are packet delay in seconds at each percentile;");
+    println!("the paper's shape: LSTF trades a slightly higher mean for a");
+    println!("lower tail)");
+    write_fig_artifacts(&report, &out);
 }

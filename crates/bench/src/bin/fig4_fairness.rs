@@ -2,24 +2,17 @@
 //! Internet2 with 10 Gbps edges: FIFO, FQ, and LSTF with virtual-clock
 //! slack at rest ∈ {1, 0.5, 0.1, 0.05, 0.01} Gbps. Paper: LSTF
 //! converges to fairness 1 for every rest ≤ r*, sooner for larger rest.
+//!
+//! A thin client of the `ups-sweep` engine: `--replicates N` runs every
+//! scheme at N seeds on `--jobs` workers and reports mean ± stddev per
+//! 1 ms window; JSON/CSV artifacts land under `target/sweep/` (or
+//! `--out DIR`) and are byte-identical for every `--jobs` value.
 
-use ups_bench::{fig4, Scale};
+use ups_bench::{fig4_report, print_fig_report, write_fig_artifacts, Scale};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 4 (scale: {})", scale.label);
-    let series = fig4(&scale);
-    print!("{:<16}", "t(ms)");
-    for (label, _) in &series {
-        print!(" {label:>14}");
-    }
-    println!();
-    let n = series[0].1.len();
-    for w in 0..n {
-        print!("{:<16.1}", (w + 1) as f64);
-        for (_, pts) in &series {
-            print!(" {:>14.4}", pts[w].jain);
-        }
-        println!();
-    }
+    let (scale, out) = Scale::from_args_with_out();
+    let report = fig4_report(&scale);
+    print_fig_report(&report);
+    write_fig_artifacts(&report, &out);
 }

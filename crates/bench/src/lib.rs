@@ -20,10 +20,15 @@
 //!
 //! Every binary accepts `--full` for paper-like scale (all runs are still
 //! laptop-sized) and `--seed N`; the default "quick" scale finishes each
-//! experiment in seconds. Sweep-backed experiments (`table1`,
-//! `all_experiments`, `sweep`) also take `--jobs N` (worker threads —
-//! output is byte-identical for every value) and `--replicates N`
-//! (seed replicates per grid cell, reported as mean ± stddev).
+//! experiment in seconds. Sweep-backed experiments (`table1`, the four
+//! `fig*` binaries, `all_experiments`, `sweep`) also take `--jobs N`
+//! (worker threads — output is byte-identical for every value) and
+//! `--replicates N` (seed replicates per grid cell, reported as mean ±
+//! stddev on every scalar and every plotted point); the figure binaries
+//! additionally take `--out DIR` and write JSON/CSV artifacts there
+//! (default `target/sweep/` — schema in `ups-sweep`'s crate docs).
+//! `sweep diff old.json new.json` compares two artifacts for regression
+//! detection.
 
 pub mod runners;
 pub mod scale;

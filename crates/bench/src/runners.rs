@@ -2,6 +2,7 @@
 //! format it. Integration tests call these at [`Scale::quick`].
 
 use crate::scale::Scale;
+use std::path::Path;
 use ups_core::objectives::Scheme;
 use ups_core::replay::{record_original, replay_schedule, ReplayMode, ReplayReport};
 use ups_core::workload::{default_udp_workload, to_flow_descs};
@@ -10,7 +11,9 @@ use ups_metrics::{bucket_means, Cdf, FairnessPoint, SizeBuckets};
 use ups_net::TraceLevel;
 use ups_sched::{LstfKeyMode, SchedKind};
 use ups_sim::{Bandwidth, Dur, Time};
-use ups_sweep::{run_sweep, CellMetrics, SweepSpec};
+use ups_sweep::{
+    run_fig_with, run_sweep, CellMetrics, DistMetrics, FigAxis, FigReport, FigSpec, SweepSpec,
+};
 use ups_topo::internet2::{self, I2Config, I2Variant};
 
 // The topology selector lives in `ups-sweep` now (it is grid
@@ -121,8 +124,8 @@ pub fn table1(scale: &Scale) -> Vec<ReplayRow> {
         .collect()
 }
 
-/// Figure 1: per-original-scheduler CDFs of the queueing-delay ratio.
-pub fn fig1(scale: &Scale) -> Vec<(&'static str, Cdf)> {
+/// The six original schedulers Figure 1 replays.
+pub fn fig1_originals() -> [SchedKind; 6] {
     [
         SchedKind::Random,
         SchedKind::Fifo,
@@ -131,18 +134,67 @@ pub fn fig1(scale: &Scale) -> Vec<(&'static str, Cdf)> {
         SchedKind::Lifo,
         SchedKind::FqFifoPlusMix,
     ]
-    .into_iter()
-    .map(|orig| {
-        let (_, report, _) = run_replay(
-            TopoKind::I2(I2Variant::Default1g10g),
-            scale,
-            0.7,
-            orig,
-            ReplayMode::lstf(),
-        );
-        (orig.label(), Cdf::new(report.qdelay_ratios))
+}
+
+/// The fixed ratio grid Figure 1's artifact samples the CDF on
+/// (0.0 to 2.0 in steps of 0.1 — the paper's plotted range).
+pub fn fig1_ratio_axis() -> Vec<f64> {
+    // i/10 (not i*0.1): the division rounds to the double nearest the
+    // decimal, so artifact x values print as `1.2`, not
+    // `1.2000000000000002`.
+    (0..=20).map(|i| i as f64 / 10.0).collect()
+}
+
+/// One Figure-1 cell: record `orig`'s schedule at `seed`, replay it
+/// under LSTF, and return the queueing-delay ratio distribution.
+pub fn fig1_cell(scale: &Scale, orig: SchedKind, seed: u64) -> Cdf {
+    let coord = ups_sweep::CellCoord {
+        topo: TopoKind::I2(I2Variant::Default1g10g),
+        sched: orig,
+        util: 0.7,
+    };
+    let (report, _) = ups_sweep::record_and_replay(&coord, &scale.sim(), seed, ReplayMode::lstf());
+    Cdf::new(report.qdelay_ratios)
+}
+
+/// Figure 1: per-original-scheduler CDFs of the queueing-delay ratio
+/// (one run at the scale's base seed; [`fig1_report`] is the multi-seed
+/// sweep variant).
+pub fn fig1(scale: &Scale) -> Vec<(&'static str, Cdf)> {
+    fig1_originals()
+        .into_iter()
+        .map(|orig| (orig.label(), fig1_cell(scale, orig, scale.seed)))
+        .collect()
+}
+
+/// Figure 1 through the sweep engine: every original scheduler ×
+/// `scale.replicates` seed replicates on `scale.jobs` workers, the CDF
+/// evaluated on the fixed ratio axis with mean ± stddev per point.
+pub fn fig1_report(scale: &Scale) -> FigReport {
+    let originals = fig1_originals();
+    let xs = fig1_ratio_axis();
+    let spec = FigSpec::new(
+        "fig1",
+        "Figure 1 — CDF of queueing-delay ratio (LSTF replay : original)",
+        originals.iter().map(|o| o.label().to_string()).collect(),
+        FigAxis::numeric("ratio", xs.clone()),
+    )
+    .with_scalars(&["packets", "median", "p90"])
+    .with_replicates(scale.replicates)
+    .with_seed(scale.seed);
+    run_fig_with(&spec, scale.label, scale.jobs, |job| {
+        let cdf = fig1_cell(scale, originals[job.series], job.seed);
+        if cdf.is_empty() {
+            return DistMetrics {
+                scalars: vec![0.0; 3],
+                points: vec![0.0; xs.len()],
+            };
+        }
+        DistMetrics {
+            scalars: vec![cdf.len() as f64, cdf.quantile(0.5), cdf.quantile(0.9)],
+            points: cdf.at_many(&xs),
+        }
     })
-    .collect()
 }
 
 /// One scheme's Figure 2 result.
@@ -158,48 +210,83 @@ pub struct FctResult {
     pub buckets: Vec<(f64, usize)>,
 }
 
-/// Figure 2: mean FCT by flow-size bucket under FIFO / SJF / SRPT /
-/// LSTF(fs×D), TCP with finite buffers.
-pub fn fig2(scale: &Scale) -> (SizeBuckets, Vec<FctResult>) {
-    let buckets = SizeBuckets::paper_fig2();
-    let kind = TopoKind::I2(I2Variant::Default1g10g);
-    let topo = kind.build(&scale.sim());
-    let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
-    drop(topo);
-    let horizon = Time::ZERO + scale.horizon * 40 + Dur::from_secs(2);
-    let buffer = 5_000_000; // 5 MB, as in §3.1
-    let schemes = vec![
+/// The four Figure-2 schemes (FIFO, SJF, SRPT, LSTF with fs×D slack).
+pub fn fig2_schemes() -> Vec<Scheme> {
+    vec![
         Scheme::Fifo,
         Scheme::Sjf,
         Scheme::Srpt,
         Scheme::LstfFct {
             d: Dur::from_secs(1),
         },
-    ];
-    let results = schemes
-        .into_iter()
-        .map(|scheme| {
-            let res = ups_core::run_fct(kind.build(&scale.sim()), &flows, &scheme, buffer, horizon);
-            let done: Vec<_> = res.iter().filter(|r| r.completed.is_some()).collect();
-            let sizes: Vec<u64> = done.iter().map(|r| r.desc.pkts).collect();
-            let fcts: Vec<f64> = done
-                .iter()
-                .map(|r| r.fct().expect("completed").as_secs_f64())
-                .collect();
-            let mean = if fcts.is_empty() {
-                0.0
-            } else {
-                fcts.iter().sum::<f64>() / fcts.len() as f64
-            };
-            FctResult {
-                label: scheme.label(),
-                mean_fct: mean,
-                completed: (done.len(), res.len()),
-                buckets: bucket_means(&buckets, &sizes, &fcts),
-            }
-        })
+    ]
+}
+
+/// One Figure-2 cell: TCP flows (seed-drawn workload, 5 MB buffers)
+/// under `scheme`, FCTs bucketed by flow size.
+pub fn fig2_cell(scale: &Scale, buckets: &SizeBuckets, scheme: &Scheme, seed: u64) -> FctResult {
+    let kind = TopoKind::I2(I2Variant::Default1g10g);
+    let topo = kind.build(&scale.sim());
+    let flows = default_udp_workload(&topo, 0.7, scale.horizon, seed);
+    drop(topo);
+    let horizon = Time::ZERO + scale.horizon * 40 + Dur::from_secs(2);
+    let buffer = 5_000_000; // 5 MB, as in §3.1
+    let res = ups_core::run_fct(kind.build(&scale.sim()), &flows, scheme, buffer, horizon);
+    let done: Vec<_> = res.iter().filter(|r| r.completed.is_some()).collect();
+    let sizes: Vec<u64> = done.iter().map(|r| r.desc.pkts).collect();
+    let fcts: Vec<f64> = done
+        .iter()
+        .map(|r| r.fct().expect("completed").as_secs_f64())
+        .collect();
+    let mean = if fcts.is_empty() {
+        0.0
+    } else {
+        fcts.iter().sum::<f64>() / fcts.len() as f64
+    };
+    FctResult {
+        label: scheme.label(),
+        mean_fct: mean,
+        completed: (done.len(), res.len()),
+        buckets: bucket_means(buckets, &sizes, &fcts),
+    }
+}
+
+/// Figure 2: mean FCT by flow-size bucket under FIFO / SJF / SRPT /
+/// LSTF(fs×D), TCP with finite buffers (one run at the base seed;
+/// [`fig2_report`] is the multi-seed sweep variant).
+pub fn fig2(scale: &Scale) -> (SizeBuckets, Vec<FctResult>) {
+    let buckets = SizeBuckets::paper_fig2();
+    let results = fig2_schemes()
+        .iter()
+        .map(|scheme| fig2_cell(scale, &buckets, scheme, scale.seed))
         .collect();
     (buckets, results)
+}
+
+/// Figure 2 through the sweep engine: per-bucket mean FCT with mean ±
+/// stddev over seed replicates. Buckets with no completed flows in a
+/// replicate contribute 0 to that replicate's point (see the artifact
+/// schema in `ups-sweep`'s crate docs).
+pub fn fig2_report(scale: &Scale) -> FigReport {
+    let buckets = SizeBuckets::paper_fig2();
+    let schemes = fig2_schemes();
+    let labels = (0..buckets.count()).map(|b| buckets.label(b)).collect();
+    let spec = FigSpec::new(
+        "fig2",
+        "Figure 2 — mean FCT by flow size (TCP, 5 MB buffers)",
+        schemes.iter().map(|s| s.label()).collect(),
+        FigAxis::categorical("bucket_pkts", labels),
+    )
+    .with_scalars(&["mean_fct_s", "completed_flows", "total_flows"])
+    .with_replicates(scale.replicates)
+    .with_seed(scale.seed);
+    run_fig_with(&spec, scale.label, scale.jobs, |job| {
+        let r = fig2_cell(scale, &buckets, &schemes[job.series], job.seed);
+        DistMetrics {
+            scalars: vec![r.mean_fct, r.completed.0 as f64, r.completed.1 as f64],
+            points: r.buckets.iter().map(|&(mean, _)| mean).collect(),
+        }
+    })
 }
 
 /// One scheme's Figure 3 result.
@@ -219,42 +306,108 @@ pub struct TailResult {
     pub cdf: Cdf,
 }
 
-/// Figure 3: per-packet delays under FIFO vs LSTF with constant slack
-/// (≡ FIFO+), open-loop UDP so the load is identical.
-pub fn fig3(scale: &Scale) -> Vec<TailResult> {
-    let kind = TopoKind::I2(I2Variant::Default1g10g);
-    let topo = kind.build(&scale.sim());
-    let flows = default_udp_workload(&topo, 0.7, scale.horizon, scale.seed);
-    drop(topo);
-    [
+/// The two Figure-3 schemes: FIFO vs LSTF with constant slack (≡ FIFO+).
+pub fn fig3_schemes() -> Vec<Scheme> {
+    vec![
         Scheme::Fifo,
         Scheme::LstfConst {
             slack: Dur::from_secs(1),
         },
     ]
-    .into_iter()
-    .map(|scheme| {
-        let delays =
-            ups_core::run_tail_delays(kind.build(&scale.sim()), &flows, &scheme, 1500, None);
-        let cdf = Cdf::new(delays);
-        TailResult {
-            label: scheme.label(),
-            mean: cdf.mean(),
-            p99: cdf.quantile(0.99),
-            p999: cdf.quantile(0.999),
-            max: cdf.quantile(1.0),
-            cdf,
-        }
-    })
-    .collect()
 }
 
-/// Figure 4: Jain fairness convergence for long-lived TCP flows.
+/// The percentiles Figure 3's artifact reports tail delay at.
+pub fn fig3_percentile_axis() -> Vec<f64> {
+    vec![50.0, 90.0, 95.0, 99.0, 99.9, 100.0]
+}
+
+/// One Figure-3 cell: per-packet delays under `scheme` on a seed-drawn
+/// open-loop UDP workload (identical load across schemes at one seed).
+/// An empty workload (e.g. `--horizon-ms 0`) yields all-zero statistics
+/// rather than a quantile panic, matching `fig1_cell`'s empty handling.
+pub fn fig3_cell(scale: &Scale, scheme: &Scheme, seed: u64) -> TailResult {
+    let kind = TopoKind::I2(I2Variant::Default1g10g);
+    let topo = kind.build(&scale.sim());
+    let flows = default_udp_workload(&topo, 0.7, scale.horizon, seed);
+    drop(topo);
+    let delays = ups_core::run_tail_delays(kind.build(&scale.sim()), &flows, scheme, 1500, None);
+    let cdf = Cdf::new(delays);
+    let q = |p: f64| if cdf.is_empty() { 0.0 } else { cdf.quantile(p) };
+    TailResult {
+        label: scheme.label(),
+        mean: cdf.mean(),
+        p99: q(0.99),
+        p999: q(0.999),
+        max: q(1.0),
+        cdf,
+    }
+}
+
+/// Figure 3: per-packet delays under FIFO vs LSTF with constant slack
+/// (≡ FIFO+), open-loop UDP so the load is identical (one run at the
+/// base seed; [`fig3_report`] is the multi-seed sweep variant).
+pub fn fig3(scale: &Scale) -> Vec<TailResult> {
+    fig3_schemes()
+        .iter()
+        .map(|scheme| fig3_cell(scale, scheme, scale.seed))
+        .collect()
+}
+
+/// Figure 3 through the sweep engine: delay at fixed percentiles with
+/// mean ± stddev over seed replicates.
+pub fn fig3_report(scale: &Scale) -> FigReport {
+    let schemes = fig3_schemes();
+    let xs = fig3_percentile_axis();
+    let ps: Vec<f64> = xs.iter().map(|&p| p / 100.0).collect();
+    let spec = FigSpec::new(
+        "fig3",
+        "Figure 3 — tail packet delay percentiles, FIFO vs LSTF(const)",
+        schemes.iter().map(|s| s.label()).collect(),
+        FigAxis::numeric("percentile", xs.clone()),
+    )
+    .with_scalars(&["mean_s", "packets"])
+    .with_replicates(scale.replicates)
+    .with_seed(scale.seed);
+    run_fig_with(&spec, scale.label, scale.jobs, |job| {
+        let r = fig3_cell(scale, &schemes[job.series], job.seed);
+        if r.cdf.is_empty() {
+            return DistMetrics {
+                scalars: vec![0.0; 2],
+                points: vec![0.0; ps.len()],
+            };
+        }
+        DistMetrics {
+            scalars: vec![r.mean, r.cdf.len() as f64],
+            points: r.cdf.quantiles(&ps),
+        }
+    })
+}
+
+/// The seven Figure-4 schemes: FIFO, FQ, and LSTF with virtual-clock
+/// slack at five `rest` estimates.
+pub fn fig4_schemes() -> Vec<Scheme> {
+    let mut schemes = vec![Scheme::Fifo, Scheme::Fq];
+    for rest_mbps in [1000, 500, 100, 50, 10] {
+        schemes.push(Scheme::LstfVc {
+            rest: Bandwidth::mbps(rest_mbps),
+        });
+    }
+    schemes
+}
+
+/// Figure 4's measurement windows: 1 ms windows over a 20 ms horizon
+/// (fixed — convergence behavior, not workload volume, is the subject).
+fn fig4_windows() -> (Dur, Time) {
+    (Dur::from_millis(1), Time::from_millis(20))
+}
+
+/// One Figure-4 cell: the Jain-index time series for long-lived TCP
+/// flows (jittered starts drawn from `seed`) under `scheme`.
 ///
 /// Per the paper: Internet2 with 10 Gbps edges so all congestion is in
 /// the core, shortened propagation delays, jittered flow starts, and
 /// LSTF slack from the virtual-clock rule at several `rest` estimates.
-pub fn fig4(scale: &Scale) -> Vec<(String, Vec<FairnessPoint>)> {
+pub fn fig4_cell(scale: &Scale, scheme: &Scheme, seed: u64) -> Vec<FairnessPoint> {
     let factory = || {
         internet2::build(
             &I2Config {
@@ -273,24 +426,51 @@ pub fn fig4(scale: &Scale) -> Vec<(String, Vec<FairnessPoint>)> {
         &topo,
         n_flows,
         Dur::from_millis(5),
-        scale.seed,
+        seed,
     ));
     drop(topo);
-    let window = Dur::from_millis(1);
-    let horizon = Time::from_millis(20);
-    let mut schemes = vec![Scheme::Fifo, Scheme::Fq];
-    for rest_mbps in [1000, 500, 100, 50, 10] {
-        schemes.push(Scheme::LstfVc {
-            rest: Bandwidth::mbps(rest_mbps),
-        });
-    }
-    schemes
-        .into_iter()
-        .map(|scheme| {
-            let pts = ups_core::run_fairness(factory(), &flows, &scheme, window, horizon, None);
-            (scheme.label(), pts)
-        })
+    let (window, horizon) = fig4_windows();
+    ups_core::run_fairness(factory(), &flows, scheme, window, horizon, None)
+}
+
+/// Figure 4: Jain fairness convergence for long-lived TCP flows (one
+/// run at the base seed; [`fig4_report`] is the multi-seed sweep
+/// variant).
+pub fn fig4(scale: &Scale) -> Vec<(String, Vec<FairnessPoint>)> {
+    fig4_schemes()
+        .iter()
+        .map(|scheme| (scheme.label(), fig4_cell(scale, scheme, scale.seed)))
         .collect()
+}
+
+/// Figure 4 through the sweep engine: the per-window Jain index with
+/// mean ± stddev over seed replicates.
+pub fn fig4_report(scale: &Scale) -> FigReport {
+    let schemes = fig4_schemes();
+    let (window, horizon) = fig4_windows();
+    // div_ceil, matching ups_metrics::throughput_fairness_series — a
+    // floor here would desync the axis from the payload length if the
+    // horizon ever stops being a multiple of the window.
+    let n_windows = horizon.as_ps().div_ceil(window.as_ps()) as usize;
+    let xs: Vec<f64> = (1..=n_windows).map(|w| w as f64).collect();
+    let spec = FigSpec::new(
+        "fig4",
+        "Figure 4 — Jain fairness index over time (long-lived TCP)",
+        schemes.iter().map(|s| s.label()).collect(),
+        FigAxis::numeric("t_ms", xs),
+    )
+    .with_scalars(&["jain_final", "jain_mean"])
+    .with_replicates(scale.replicates)
+    .with_seed(scale.seed);
+    run_fig_with(&spec, scale.label, scale.jobs, |job| {
+        let pts = fig4_cell(scale, &schemes[job.series], job.seed);
+        let jains: Vec<f64> = pts.iter().map(|p| p.jain).collect();
+        let mean = jains.iter().sum::<f64>() / jains.len() as f64;
+        DistMetrics {
+            scalars: vec![*jains.last().expect("windows"), mean],
+            points: jains,
+        }
+    })
 }
 
 /// §2.3(5): non-preemptive vs preemptive LSTF on the hardest originals.
@@ -424,6 +604,63 @@ pub fn print_replay_rows(title: &str, rows: &[ReplayRow]) {
     }
 }
 
+/// Format a figure report for stdout: header, per-series scalar
+/// summaries, then the mean ± stddev curve table (one column per
+/// series, one row per x-axis point).
+pub fn print_fig_report(report: &FigReport) {
+    println!("\n=== {} ===", report.title);
+    println!(
+        "scale {}, {} replicate(s), base seed {} (output is identical for every --jobs value)",
+        report.scale, report.replicates, report.base_seed
+    );
+    if !report.scalar_names.is_empty() {
+        println!();
+        print!("{:<16}", "series");
+        for name in &report.scalar_names {
+            print!(" {name:>22}");
+        }
+        println!();
+        for r in &report.results {
+            print!("{:<16}", r.series);
+            for s in &r.scalars {
+                print!(" {:>13.4} ±{:>7.4}", s.mean, s.stddev);
+            }
+            println!();
+        }
+    }
+    println!();
+    print!("{:<12}", report.axis.name);
+    for r in &report.results {
+        print!(" {:>20}", r.series);
+    }
+    println!();
+    for (i, &x) in report.axis.xs.iter().enumerate() {
+        let row_label = report
+            .axis
+            .labels
+            .as_ref()
+            .map_or_else(|| format!("{x}"), |labels| labels[i].clone());
+        print!("{row_label:<12}");
+        for r in &report.results {
+            let s = &r.points[i];
+            print!(" {:>11.4} ±{:>7.4}", s.mean, s.stddev);
+        }
+        println!();
+    }
+}
+
+/// Write a figure report's JSON + CSV artifacts under `out`, printing
+/// the paths; exits(1) on an IO error (binary-level helper).
+pub fn write_fig_artifacts(report: &FigReport, out: &Path) {
+    match report.write(out) {
+        Ok((json, csv)) => println!("\nwrote {} and {}", json.display(), csv.display()),
+        Err(e) => {
+            eprintln!("error: writing artifacts to {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +695,53 @@ mod tests {
             "T must be 12us, got {}",
             row.t_us
         );
+    }
+
+    #[test]
+    fn fig1_report_matches_single_run_at_one_replicate() {
+        // With one replicate the sweep path must reproduce the legacy
+        // serial path exactly — same seed, same cells, same CDF values.
+        let scale = tiny();
+        let report = fig1_report(&scale);
+        let legacy = fig1(&scale);
+        assert_eq!(report.results.len(), legacy.len());
+        let xs = fig1_ratio_axis();
+        for (r, (label, cdf)) in report.results.iter().zip(&legacy) {
+            assert_eq!(&r.series, label);
+            assert_eq!(r.replicates, 1);
+            for (s, &x) in r.points.iter().zip(&xs) {
+                assert_eq!(s.mean, cdf.at(x), "{label} at ratio {x}");
+                assert_eq!(s.stddev, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_report_aggregates_replicates() {
+        // fig3 is the cheapest multi-scheme figure (two open-loop UDP
+        // runs per replicate), so it carries the multi-replicate wiring
+        // check; fig4's 20 ms TCP sims would cost ~50s here.
+        let mut scale = tiny();
+        scale.replicates = 2;
+        scale.jobs = 2;
+        let report = fig3_report(&scale);
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.axis.xs, fig3_percentile_axis());
+        for r in &report.results {
+            assert_eq!(r.replicates, 2);
+            // Percentile curve is monotone in the mean.
+            for w in r.points.windows(2) {
+                assert!(w[0].mean <= w[1].mean, "{}: non-monotone", r.series);
+            }
+            // Two seeds draw different workloads → different packet
+            // counts → nonzero spread on the count scalar.
+            assert!(r.scalars[1].mean > 0.0, "{}: no packets", r.series);
+            assert!(
+                r.scalars[1].stddev > 0.0,
+                "{}: replicates did not vary the seed",
+                r.series
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Experiment scale parsed from the command line.
 
+use std::path::PathBuf;
 use ups_sim::Dur;
 use ups_sweep::SimScale;
 
@@ -14,10 +15,32 @@ scale flags:
   --jobs N        worker threads (default: available parallelism;
                   output is identical for every value). Only sweep-
                   backed experiments parallelize: sweep, table1,
-                  all_experiments' Table 1 — a no-op elsewhere.
+                  fig1-fig4, all_experiments — a no-op elsewhere.
   --replicates N  seed replicates per grid cell, reported as
                   mean +/- stddev (default: 1). Sweep-backed
                   experiments only — a no-op elsewhere.";
+
+/// Remove every `--out DIR` from `args`, returning the last directory
+/// given (default: `target/sweep`) — the artifact-directory flag shared
+/// by the sweep-backed figure binaries.
+pub fn take_out_flag(args: &mut Vec<String>) -> Result<PathBuf, String> {
+    let mut out = PathBuf::from("target/sweep");
+    while let Some(i) = args.iter().position(|a| a == "--out") {
+        args.remove(i);
+        if i >= args.len() {
+            return Err("--out requires a value".to_string());
+        }
+        let value = args.remove(i);
+        // A following flag means the DIR was forgotten; consuming it
+        // silently would both mis-scale the run and write artifacts to
+        // a `./--flag/` directory.
+        if value.starts_with('-') {
+            return Err(format!("--out requires a value, got flag `{value}`"));
+        }
+        out = PathBuf::from(value);
+    }
+    Ok(out)
+}
 
 /// Knobs that trade fidelity for runtime.
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +155,27 @@ impl Scale {
             }
         }
     }
+
+    /// Parse from `std::env::args` with `--out DIR` support — the entry
+    /// point for binaries that write sweep artifacts. Returns the scale
+    /// and the artifact directory (default `target/sweep`); prints the
+    /// error and usage, then exit(2), on bad input.
+    pub fn from_args_with_out() -> (Scale, PathBuf) {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        let parsed = take_out_flag(&mut args).and_then(|out| Ok((Scale::parse(&args)?, out)));
+        match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!(
+                    "error: {e}\n\
+                     usage: <experiment> [--out DIR] [scale flags]\n  \
+                     --out DIR    artifact directory (default: target/sweep)\n\
+                     {SCALE_FLAGS}"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +261,34 @@ mod tests {
         let s = parse(&["--jobs", "0", "--replicates", "0"]).unwrap();
         assert_eq!(s.jobs, 1);
         assert_eq!(s.replicates, 1);
+    }
+
+    #[test]
+    fn take_out_flag_strips_and_defaults() {
+        let mut args: Vec<String> = ["--seed", "3", "--out", "some/dir", "--jobs", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = take_out_flag(&mut args).unwrap();
+        assert_eq!(out, PathBuf::from("some/dir"));
+        assert_eq!(args, ["--seed", "3", "--jobs", "2"]);
+        // Scale parsing then succeeds on the remainder.
+        assert!(Scale::parse(&args).is_ok());
+
+        let mut none: Vec<String> = vec![];
+        assert_eq!(
+            take_out_flag(&mut none).unwrap(),
+            PathBuf::from("target/sweep")
+        );
+
+        let mut dangling: Vec<String> = vec!["--out".to_string()];
+        assert!(take_out_flag(&mut dangling).is_err());
+
+        // A forgotten DIR before another flag must error, not silently
+        // swallow the flag as the directory.
+        let mut swallowed: Vec<String> =
+            ["--out", "--full"].iter().map(|s| s.to_string()).collect();
+        assert!(take_out_flag(&mut swallowed).is_err());
     }
 
     #[test]

@@ -58,6 +58,20 @@ impl Cdf {
         self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
     }
 
+    /// `F(x)` at each of the given points — the fixed-grid evaluation
+    /// the sweep engine aggregates across seed replicates (every
+    /// replicate reports its CDF on the same x-axis, so per-point
+    /// mean ± stddev is well-defined).
+    pub fn at_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.at(x)).collect()
+    }
+
+    /// Nearest-rank quantiles at each of the given probabilities
+    /// (0 ≤ p ≤ 1). Panics on an empty CDF, like [`Cdf::quantile`].
+    pub fn quantiles(&self, ps: &[f64]) -> Vec<f64> {
+        ps.iter().map(|&p| self.quantile(p)).collect()
+    }
+
     /// Evenly spaced (x, F(x)) points for plotting/reporting.
     pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
         assert!(n >= 2);
@@ -260,6 +274,13 @@ mod tests {
         assert_eq!(c.quantile(0.99), 99.0);
         assert_eq!(c.quantile(1.0), 100.0);
         assert_eq!(c.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn at_many_and_quantiles_match_scalar_forms() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.at_many(&[0.5, 2.0, 10.0]), vec![0.0, 0.5, 1.0]);
+        assert_eq!(c.quantiles(&[0.0, 0.5, 1.0]), vec![1.0, 2.0, 4.0]);
     }
 
     #[test]

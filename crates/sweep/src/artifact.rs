@@ -1,12 +1,16 @@
 //! Dependency-free JSON and CSV serialization for sweep reports, so
 //! results land in `target/sweep/*.{json,csv}` for the benchmarking
-//! trajectory instead of only stdout tables.
+//! trajectory instead of only stdout tables — plus the matching
+//! [`Json::parse`] reader that `sweep diff` uses to load artifacts
+//! back for cross-run comparison.
 //!
 //! Determinism contract: object keys render in insertion order and
 //! floats use Rust's shortest round-trip `Display`, so two structurally
 //! equal reports serialize to byte-identical artifacts.
+//!
+//! See the crate-level docs for the field-by-field artifact schema.
 
-use crate::engine::{Stat, SweepReport, SweepResult};
+use crate::engine::{FigReport, Stat, SweepReport, SweepResult};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -101,6 +105,211 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parse a JSON document (the inverse of [`Json::render`], used by
+    /// `sweep diff` to load artifacts back).
+    ///
+    /// Supports the subset this crate emits — `null`, numbers, strings,
+    /// arrays, objects — which is all any sweep artifact contains.
+    /// Numbers without a sign, fraction, or exponent parse as
+    /// [`Json::UInt`]; everything else numeric as [`Json::Num`].
+    /// Trailing non-whitespace after the document is an error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { input, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing data after JSON document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Byte-cursor recursive-descent parser for [`Json::parse`]. The cursor
+/// only ever rests on a char boundary: every non-ASCII advance consumes
+/// a whole `char`, everything else is ASCII.
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.input.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.input[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let mut plain_uint = true; // no sign, fraction, or exponent
+        if self.peek() == Some(b'-') {
+            plain_uint = false;
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    plain_uint = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if plain_uint {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("malformed number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .input
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("malformed \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character — an O(1) slice,
+                    // the input is already known-valid UTF-8.
+                    let c = self.input[self.pos..].chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
 fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
@@ -155,10 +364,22 @@ fn csv_field(s: &str) -> String {
     }
 }
 
+/// `<dir>/<name>.json` + `<dir>/<name>.csv` writer shared by both
+/// report kinds; returns the two paths.
+fn write_pair(dir: &Path, name: &str, json: String, csv: String) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{name}.json"));
+    let csv_path = dir.join(format!("{name}.csv"));
+    std::fs::write(&json_path, json)?;
+    std::fs::write(&csv_path, csv)?;
+    Ok((json_path, csv_path))
+}
+
 impl SweepReport {
     /// The full report as a JSON document (ends with a newline).
     pub fn to_json(&self) -> String {
         Json::obj(vec![
+            ("kind", Json::Str("table".to_string())),
             ("name", Json::Str(self.name.clone())),
             ("scale", Json::Str(self.scale.clone())),
             ("base_seed", Json::UInt(self.base_seed)),
@@ -212,12 +433,112 @@ impl SweepReport {
     /// Write `<dir>/<name>.json` and `<dir>/<name>.csv` (creating `dir`
     /// if needed); returns the two paths.
     pub fn write(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
-        std::fs::create_dir_all(dir)?;
-        let json_path = dir.join(format!("{}.json", self.name));
-        let csv_path = dir.join(format!("{}.csv", self.name));
-        std::fs::write(&json_path, self.to_json())?;
-        std::fs::write(&csv_path, self.to_csv())?;
-        Ok((json_path, csv_path))
+        write_pair(dir, &self.name, self.to_json(), self.to_csv())
+    }
+}
+
+impl FigReport {
+    /// The full figure report as a JSON document (ends with a newline).
+    ///
+    /// Points are objects carrying their own `x` (and `label` on
+    /// categorical axes) so `sweep diff` can match them by coordinate
+    /// rather than array position.
+    pub fn to_json(&self) -> String {
+        let series = self
+            .results
+            .iter()
+            .map(|r| {
+                let scalars = self
+                    .scalar_names
+                    .iter()
+                    .zip(&r.scalars)
+                    .map(|(name, s)| (name.clone(), stat_json(s)))
+                    .collect();
+                let points = self
+                    .axis
+                    .xs
+                    .iter()
+                    .zip(&r.points)
+                    .enumerate()
+                    .map(|(i, (&x, s))| {
+                        let mut members = vec![("x".to_string(), Json::Num(x))];
+                        if let Some(labels) = &self.axis.labels {
+                            members.push(("label".to_string(), Json::Str(labels[i].clone())));
+                        }
+                        members.push(("mean".to_string(), Json::Num(s.mean)));
+                        members.push(("stddev".to_string(), Json::Num(s.stddev)));
+                        members.push(("stderr".to_string(), Json::Num(s.stderr)));
+                        Json::Obj(members)
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("series", Json::Str(r.series.clone())),
+                    ("replicates", Json::UInt(r.replicates as u64)),
+                    ("scalars", Json::Obj(scalars)),
+                    ("points", Json::Arr(points)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("kind", Json::Str("figure".to_string())),
+            ("name", Json::Str(self.name.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("scale", Json::Str(self.scale.clone())),
+            ("base_seed", Json::UInt(self.base_seed)),
+            ("replicates", Json::UInt(self.replicates as u64)),
+            ("axis", Json::Str(self.axis.name.clone())),
+            ("series", Json::Arr(series)),
+        ])
+        .render()
+    }
+
+    /// The figure as long-format CSV: one row per (series, scalar) and
+    /// per (series, point), with mean/stddev/stderr columns.
+    ///
+    /// `metric` is the scalar name for scalar rows and the axis name
+    /// for point rows; `x`/`label` are empty on scalar rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,metric,x,label,mean,stddev,stderr\n");
+        for r in &self.results {
+            for (name, s) in self.scalar_names.iter().zip(&r.scalars) {
+                writeln!(
+                    out,
+                    "{},{},,,{},{},{}",
+                    csv_field(&r.series),
+                    csv_field(name),
+                    s.mean,
+                    s.stddev,
+                    s.stderr
+                )
+                .expect("write to String");
+            }
+            for (i, (&x, s)) in self.axis.xs.iter().zip(&r.points).enumerate() {
+                let label = self
+                    .axis
+                    .labels
+                    .as_ref()
+                    .map_or(String::new(), |l| csv_field(&l[i]));
+                writeln!(
+                    out,
+                    "{},{},{},{},{},{},{}",
+                    csv_field(&r.series),
+                    csv_field(&self.axis.name),
+                    x,
+                    label,
+                    s.mean,
+                    s.stddev,
+                    s.stderr
+                )
+                .expect("write to String");
+            }
+        }
+        out
+    }
+
+    /// Write `<dir>/<name>.json` and `<dir>/<name>.csv` (creating `dir`
+    /// if needed); returns the two paths.
+    pub fn write(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        write_pair(dir, &self.name, self.to_json(), self.to_csv())
     }
 }
 
@@ -273,7 +594,7 @@ mod tests {
     fn report_serializations_have_expected_shape() {
         let report = tiny_report();
         let json = report.to_json();
-        assert!(json.starts_with("{\n  \"name\": \"smoke\""));
+        assert!(json.starts_with("{\n  \"kind\": \"table\",\n  \"name\": \"smoke\""));
         assert!(json.contains("\"frac_overdue\""));
         assert!(json.contains("\"mean\": 0.25"));
         let csv = report.to_csv();
@@ -285,6 +606,71 @@ mod tests {
             lines[1].split(',').count(),
             "header/row column mismatch"
         );
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let report = tiny_report();
+        for doc in [report.to_json(), fig_report().to_json()] {
+            let parsed = Json::parse(&doc).expect("parse own artifact");
+            assert_eq!(parsed.render(), doc, "render(parse(x)) != x");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_numbers_and_rejects_garbage() {
+        let v = Json::parse("{\"a\\n\": [-1.5e3, 7, null, \"\\u0041\"]}").unwrap();
+        let Json::Obj(members) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(members[0].0, "a\n");
+        let Json::Arr(items) = &members[0].1 else {
+            panic!("expected array")
+        };
+        assert_eq!(items[0], Json::Num(-1500.0));
+        assert_eq!(items[1], Json::UInt(7));
+        assert_eq!(items[2], Json::Null);
+        assert_eq!(items[3], Json::Str("A".to_string()));
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2] trailing").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    fn fig_report() -> crate::engine::FigReport {
+        use crate::engine::run_fig_with;
+        use crate::grid::{FigAxis, FigSpec};
+        let spec = FigSpec::new(
+            "figtiny",
+            "Tiny figure",
+            vec!["A".into(), "B".into()],
+            FigAxis::categorical("bucket", vec!["<=1".into(), ">1".into()]),
+        )
+        .with_scalars(&["median"])
+        .with_replicates(2);
+        run_fig_with(&spec, "test", 1, |job| crate::DistMetrics {
+            scalars: vec![job.seed as f64],
+            points: vec![job.series as f64, job.replicate as f64],
+        })
+    }
+
+    #[test]
+    fn fig_serializations_have_expected_shape() {
+        let report = fig_report();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"kind\": \"figure\",\n  \"name\": \"figtiny\""));
+        assert!(json.contains("\"axis\": \"bucket\""));
+        assert!(json.contains("\"label\": \"<=1\""));
+        assert!(json.contains("\"median\""));
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + per series: 1 scalar row + 2 point rows.
+        assert_eq!(lines.len(), 1 + 2 * 3);
+        assert_eq!(lines[0], "series,metric,x,label,mean,stddev,stderr");
+        assert!(lines[1].starts_with("A,median,,,"));
+        assert!(lines[2].starts_with("A,bucket,0,<=1,"));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), lines[0].split(',').count());
+        }
     }
 
     #[test]

@@ -24,6 +24,24 @@ pub struct CellMetrics {
     pub mean_slack_us: f64,
 }
 
+/// Per-replicate payload of a distribution-style (figure) cell: the
+/// distribution evaluated on the grid's shared x-axis, plus named
+/// scalar summaries.
+///
+/// A figure runner reduces whatever it measured — sorted delay-ratio
+/// samples, FCT means per size bucket, tail-delay percentiles, Jain
+/// indices per time window — to one `y` per [`crate::FigAxis`] x-point,
+/// so replicates of the same series aggregate point-wise into mean ±
+/// stddev ([`crate::Stat`]) regardless of how many raw samples each
+/// replicate drew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistMetrics {
+    /// One value per [`crate::FigSpec::scalar_names`] entry.
+    pub scalars: Vec<f64>,
+    /// One value per [`crate::FigAxis::xs`] point.
+    pub points: Vec<f64>,
+}
+
 /// The record-and-replay pipeline shared by the sweep engine and
 /// `ups-bench`'s `run_replay`: record `coord.sched`'s schedule on a
 /// fresh topology (default UDP workload, 1500-byte MTU), rebuild, and

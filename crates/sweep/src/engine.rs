@@ -1,8 +1,10 @@
 //! The sweep engine: expand a spec into jobs, execute them on the
-//! worker pool, and aggregate replicates into per-cell statistics.
+//! worker pool, and aggregate replicates into per-cell statistics —
+//! scalar Table-1 cells ([`run_sweep_with`]) and distribution-payload
+//! figure cells ([`run_fig_with`]) alike.
 
-use crate::cell::{run_cell, CellMetrics};
-use crate::grid::{CellCoord, Job, SimScale, SweepSpec};
+use crate::cell::{run_cell, CellMetrics, DistMetrics};
+use crate::grid::{CellCoord, FigAxis, FigJob, FigSpec, Job, SimScale, SweepSpec};
 use crate::pool::run_indexed;
 use ups_metrics::Welford;
 
@@ -18,7 +20,8 @@ pub struct Stat {
 }
 
 impl Stat {
-    fn of(samples: impl IntoIterator<Item = f64>) -> Stat {
+    /// Aggregate samples into mean/stddev/stderr (Welford).
+    pub fn of(samples: impl IntoIterator<Item = f64>) -> Stat {
         let mut w = Welford::new();
         for x in samples {
             w.push(x);
@@ -120,6 +123,120 @@ pub fn run_sweep(spec: &SweepSpec, sim: &SimScale, jobs: usize) -> SweepReport {
     })
 }
 
+/// One figure series' aggregate over its seed replicates: per-scalar
+/// and per-x-point mean ± stddev/stderr.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Series label (the grid coordinate of a figure cell).
+    pub series: String,
+    /// Number of seed replicates aggregated.
+    pub replicates: usize,
+    /// Scalar summaries, parallel to [`FigReport::scalar_names`].
+    pub scalars: Vec<Stat>,
+    /// Plotted points, parallel to the axis' `xs`.
+    pub points: Vec<Stat>,
+}
+
+/// A completed figure sweep: spec metadata, the shared x-axis, and one
+/// [`DistResult`] per series, in spec order. Like [`SweepReport`], it
+/// carries no timing or worker-count information, so serializations are
+/// byte-identical across `--jobs N`.
+#[derive(Debug, Clone)]
+pub struct FigReport {
+    /// Grid name (artifact file stem).
+    pub name: String,
+    /// Human title for report headers.
+    pub title: String,
+    /// Scale label the sweep ran at (`quick`, `full`, ...).
+    pub scale: String,
+    /// Seed of replicate 0.
+    pub base_seed: u64,
+    /// Replicates per series.
+    pub replicates: usize,
+    /// The shared x-axis.
+    pub axis: FigAxis,
+    /// Names of the scalar summaries.
+    pub scalar_names: Vec<String>,
+    /// Per-series aggregates, in spec order.
+    pub results: Vec<DistResult>,
+}
+
+/// Run a figure grid with a caller-supplied job runner on up to `jobs`
+/// worker threads, aggregating each series' replicates point-wise.
+///
+/// The runner must be pure in the job (same job, same payload) for the
+/// determinism guarantee to hold, and every payload it returns must
+/// have `spec.axis.xs.len()` points and `spec.scalar_names.len()`
+/// scalars (checked — a mismatched payload is a programming error that
+/// would silently misalign the artifact otherwise).
+pub fn run_fig_with<F>(spec: &FigSpec, scale: &str, jobs: usize, runner: F) -> FigReport
+where
+    F: Fn(&FigJob) -> DistMetrics + Sync,
+{
+    let clamped;
+    let spec = if spec.replicates == 0 {
+        clamped = spec.clone().with_replicates(1);
+        &clamped
+    } else {
+        spec
+    };
+    if let Some(labels) = &spec.axis.labels {
+        assert_eq!(
+            labels.len(),
+            spec.axis.xs.len(),
+            "axis labels must parallel xs"
+        );
+    }
+    let expanded = spec.jobs();
+    let measured = run_indexed(&expanded, jobs, |_, job| {
+        let m = runner(job);
+        assert_eq!(
+            m.points.len(),
+            spec.axis.xs.len(),
+            "series `{}` replicate {}: payload has {} points for a {}-point axis",
+            spec.series[job.series],
+            job.replicate,
+            m.points.len(),
+            spec.axis.xs.len()
+        );
+        assert_eq!(
+            m.scalars.len(),
+            spec.scalar_names.len(),
+            "series `{}` replicate {}: payload has {} scalars for {} names",
+            spec.series[job.series],
+            job.replicate,
+            m.scalars.len(),
+            spec.scalar_names.len()
+        );
+        m
+    });
+    let results = spec
+        .series
+        .iter()
+        .zip(measured.chunks(spec.replicates))
+        .map(|(series, reps)| DistResult {
+            series: series.clone(),
+            replicates: reps.len(),
+            scalars: (0..spec.scalar_names.len())
+                .map(|i| Stat::of(reps.iter().map(|m| m.scalars[i])))
+                .collect(),
+            points: (0..spec.axis.xs.len())
+                .map(|i| Stat::of(reps.iter().map(|m| m.points[i])))
+                .collect(),
+        })
+        .collect();
+    FigReport {
+        name: spec.name.clone(),
+        title: spec.title.clone(),
+        scale: scale.to_string(),
+        base_seed: spec.base_seed,
+        replicates: spec.replicates,
+        axis: spec.axis.clone(),
+        scalar_names: spec.scalar_names.clone(),
+        results,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +292,66 @@ mod tests {
         assert_eq!(report.replicates, 1);
         assert_eq!(report.results.len(), 2);
         assert_eq!(report.results[0].replicates, 1);
+    }
+
+    fn fig_spec() -> FigSpec {
+        FigSpec::new(
+            "figtest",
+            "Fig test",
+            vec!["a".into(), "b".into()],
+            FigAxis::numeric("x", vec![0.0, 1.0, 2.0]),
+        )
+        .with_scalars(&["median"])
+    }
+
+    /// Synthetic figure runner: y = series + x·replicate-offset so both
+    /// the per-point mean and the spread are predictable.
+    fn synthetic_fig(job: &FigJob) -> DistMetrics {
+        DistMetrics {
+            scalars: vec![10.0 * job.series as f64 + job.seed as f64],
+            points: (0..3)
+                .map(|x| job.series as f64 + x as f64 * job.replicate as f64)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fig_engine_aggregates_points_per_series() {
+        let spec = fig_spec().with_replicates(2).with_seed(5);
+        let report = run_fig_with(&spec, "test", 2, synthetic_fig);
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.axis.xs.len(), 3);
+        let a = &report.results[0];
+        assert_eq!(a.replicates, 2);
+        // Series 0, x=2: replicates give 0 and 2 → mean 1, stddev √2.
+        assert_eq!(a.points[2].mean, 1.0);
+        assert!((a.points[2].stddev - 2f64.sqrt()).abs() < 1e-12);
+        // Scalars: seeds 5, 6 → mean 5.5.
+        assert_eq!(a.scalars[0].mean, 5.5);
+        // x=0 is constant across replicates → zero spread.
+        assert_eq!(a.points[0].stddev, 0.0);
+    }
+
+    #[test]
+    fn fig_report_is_identical_for_any_worker_count() {
+        let spec = fig_spec().with_replicates(3);
+        let a = run_fig_with(&spec, "test", 1, synthetic_fig);
+        let b = run_fig_with(&spec, "test", 8, synthetic_fig);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.series, y.series);
+            assert_eq!(x.points, y.points);
+            assert_eq!(x.scalars, y.scalars);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "points")]
+    fn fig_engine_rejects_misaligned_payload() {
+        let spec = fig_spec();
+        run_fig_with(&spec, "test", 1, |_| DistMetrics {
+            scalars: vec![0.0],
+            points: vec![1.0], // axis has 3 points
+        });
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! Grid vocabulary: topology selectors, cell coordinates, and the
-//! [`SweepSpec`] that expands a grid into independent jobs.
+//! Grid vocabulary: topology selectors, cell coordinates, the
+//! [`SweepSpec`] that expands a scalar (Table-1 style) grid into
+//! independent jobs, and the [`FigSpec`] analogue for
+//! distribution-style figure grids (named series × fixed x-axis).
 
 use ups_net::TraceLevel;
 use ups_sched::SchedKind;
@@ -269,9 +271,174 @@ impl SweepSpec {
     }
 }
 
+/// The x-axis a figure grid's distribution payload is sampled on.
+///
+/// Every replicate of every series evaluates its distribution at the
+/// same `xs`, so per-point aggregation across seed replicates (mean ±
+/// stddev via Welford) is well-defined and artifacts stay
+/// byte-identical for any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigAxis {
+    /// Axis name (JSON/CSV field, e.g. `ratio`, `percentile`, `t_ms`).
+    pub name: String,
+    /// The x points, in presentation order.
+    pub xs: Vec<f64>,
+    /// Optional human labels for categorical axes (e.g. Figure 2's
+    /// flow-size buckets). When present, must parallel `xs`.
+    pub labels: Option<Vec<String>>,
+}
+
+impl FigAxis {
+    /// A numeric axis with no categorical labels.
+    pub fn numeric(name: impl Into<String>, xs: Vec<f64>) -> FigAxis {
+        FigAxis {
+            name: name.into(),
+            xs,
+            labels: None,
+        }
+    }
+
+    /// A categorical axis: x is the category index, `labels` the names.
+    pub fn categorical(name: impl Into<String>, labels: Vec<String>) -> FigAxis {
+        FigAxis {
+            name: name.into(),
+            xs: (0..labels.len()).map(|i| i as f64).collect(),
+            labels: Some(labels),
+        }
+    }
+}
+
+/// A distribution-style figure grid: one cell per named series (an
+/// original scheduler, an FCT scheme, ...), each replicated over seeds,
+/// reporting one distribution payload ([`crate::DistMetrics`]) per
+/// replicate. The figure analogue of [`SweepSpec`].
+#[derive(Debug, Clone)]
+pub struct FigSpec {
+    /// Grid name — becomes the artifact file stem (`<name>.json`).
+    pub name: String,
+    /// Human title for report headers.
+    pub title: String,
+    /// Series labels, in presentation order (one grid cell each).
+    pub series: Vec<String>,
+    /// The shared x-axis every replicate samples its payload on.
+    pub axis: FigAxis,
+    /// Names of the per-replicate scalar summaries (e.g. `median`),
+    /// parallel to [`crate::DistMetrics::scalars`].
+    pub scalar_names: Vec<String>,
+    /// Seed replicates per series.
+    pub replicates: usize,
+    /// Seed of replicate 0; replicate `r` runs with `base_seed + r`.
+    pub base_seed: u64,
+}
+
+/// One unit of figure work: a series index plus a seed replicate.
+#[derive(Debug, Clone, Copy)]
+pub struct FigJob {
+    /// Index into [`FigSpec::series`].
+    pub series: usize,
+    /// Replicate number within the series (0-based).
+    pub replicate: usize,
+    /// RNG seed for this replicate (`base_seed + replicate`).
+    pub seed: u64,
+}
+
+impl FigSpec {
+    /// A figure grid with the given series and axis, one replicate,
+    /// seed 1, no scalar summaries.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        series: Vec<String>,
+        axis: FigAxis,
+    ) -> FigSpec {
+        FigSpec {
+            name: name.into(),
+            title: title.into(),
+            series,
+            axis,
+            scalar_names: Vec::new(),
+            replicates: 1,
+            base_seed: 1,
+        }
+    }
+
+    /// Set the per-replicate scalar summary names (builder style).
+    pub fn with_scalars(mut self, names: &[&str]) -> FigSpec {
+        self.scalar_names = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Set the replicate count (builder style; clamped to ≥ 1).
+    pub fn with_replicates(mut self, replicates: usize) -> FigSpec {
+        self.replicates = replicates.max(1);
+        self
+    }
+
+    /// Set the base seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> FigSpec {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Expand into jobs: series-major, replicate-minor, so chunking the
+    /// result by `replicates` groups each series' replicates together.
+    pub fn jobs(&self) -> Vec<FigJob> {
+        let mut jobs = Vec::with_capacity(self.series.len() * self.replicates);
+        for series in 0..self.series.len() {
+            for replicate in 0..self.replicates {
+                jobs.push(FigJob {
+                    series,
+                    replicate,
+                    seed: self.base_seed + replicate as u64,
+                });
+            }
+        }
+        jobs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig_jobs_expand_series_major_with_seed_offsets() {
+        let spec = FigSpec::new(
+            "f",
+            "t",
+            vec!["a".into(), "b".into()],
+            FigAxis::numeric("x", vec![0.0, 1.0]),
+        )
+        .with_replicates(2)
+        .with_seed(10);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(
+            (jobs[0].series, jobs[0].replicate, jobs[0].seed),
+            (0, 0, 10)
+        );
+        assert_eq!(
+            (jobs[1].series, jobs[1].replicate, jobs[1].seed),
+            (0, 1, 11)
+        );
+        assert_eq!(
+            (jobs[2].series, jobs[2].replicate, jobs[2].seed),
+            (1, 0, 10)
+        );
+    }
+
+    #[test]
+    fn categorical_axis_indexes_labels() {
+        let axis = FigAxis::categorical("bucket", vec!["<=1".into(), "2-3".into()]);
+        assert_eq!(axis.xs, vec![0.0, 1.0]);
+        assert_eq!(axis.labels.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fig_replicates_clamp_to_at_least_one() {
+        let spec = FigSpec::new("f", "t", vec![], FigAxis::numeric("x", vec![]));
+        assert_eq!(spec.with_replicates(0).replicates, 1);
+    }
 
     #[test]
     fn table1_has_fourteen_cells() {

@@ -1,36 +1,131 @@
 //! `ups-sweep` — a parallel, deterministic experiment-sweep engine.
 //!
-//! Table 1 of the paper is a grid — topology × original scheduler ×
-//! link-speed variant × utilization — and statistical rigor wants every
-//! cell replicated over several seeds. Running that serially in one
-//! thread does not scale, so this crate turns the harness into a
-//! declarative sweep engine:
+//! The paper's empirical results are grids: Table 1 is topology ×
+//! original scheduler × utilization, and Figures 1–4 are series ×
+//! x-axis curves. Statistical rigor wants every cell replicated over
+//! several seeds, and running that serially in one thread does not
+//! scale, so this crate turns the harness into a declarative sweep
+//! engine:
 //!
-//! * [`SweepSpec`] expands a grid of [`CellCoord`]s (topology, original
-//!   scheduler, utilization) × seed replicates into independent [`Job`]s;
+//! * [`SweepSpec`] expands a scalar grid of [`CellCoord`]s (topology,
+//!   original scheduler, utilization) × seed replicates into
+//!   independent [`Job`]s; [`FigSpec`] does the same for
+//!   distribution-style figure grids (named series × a fixed
+//!   [`FigAxis`]), whose per-replicate payload is a [`DistMetrics`];
 //! * [`pool::run_indexed`] executes jobs on a scoped-thread worker pool
 //!   (std-only — no external dependencies) that claims work from a
 //!   shared atomic cursor and keys every result to its grid coordinates,
 //!   so the aggregate output is **byte-identical regardless of
 //!   `--jobs N`**;
 //! * [`run_sweep`] aggregates per-replicate [`CellMetrics`] into a
-//!   [`SweepResult`] per cell — mean ± stddev over seeds via
-//!   [`ups_metrics::Welford`];
-//! * [`artifact`] serializes the resulting [`SweepReport`] with a
-//!   hand-rolled, dependency-free JSON and CSV writer so results land
-//!   in `target/sweep/*.json` instead of only stdout tables.
+//!   [`SweepResult`] per cell, and [`run_fig_with`] aggregates
+//!   [`DistMetrics`] into a [`DistResult`] per series — mean ± stddev
+//!   over seeds via [`ups_metrics::Welford`] on every scalar and every
+//!   plotted point;
+//! * [`artifact`] serializes the resulting [`SweepReport`]/[`FigReport`]
+//!   with a hand-rolled, dependency-free JSON and CSV writer so results
+//!   land in `target/sweep/*.json`, and parses them back
+//!   ([`Json::parse`]);
+//! * [`diff`](mod@diff) compares two artifacts structurally, keyed by
+//!   grid coordinate, under a configurable tolerance — the primitive
+//!   behind `sweep diff` and cross-run regression detection in CI.
 //!
 //! The `sweep` binary at the workspace root (`cargo run --release --bin
-//! sweep`) is the CLI; `ups-bench`'s `table1`/`all_experiments` are thin
-//! clients of [`run_sweep`].
+//! sweep`) is the CLI; `ups-bench`'s `table1`, `all_experiments`, and
+//! the four `fig*` binaries are thin clients of [`run_sweep`] /
+//! [`run_fig_with`].
+//!
+//! # Artifact schema
+//!
+//! Every sweep writes `<out>/<name>.json` and `<out>/<name>.csv`
+//! (default `out` = `target/sweep`). Files are deterministic: object
+//! keys render in insertion order, floats use Rust's shortest
+//! round-trip `Display`, and no timestamp, duration, or worker count is
+//! ever recorded — so byte equality means result equality.
+//!
+//! ## Table artifacts (`SweepReport`, `"kind": "table"`)
+//!
+//! JSON, top level:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `kind` | string | `"table"` — scalar-grid artifact discriminator |
+//! | `name` | string | grid name, equals the file stem (`table1`, `smoke`, …) |
+//! | `scale` | string | scale label the sweep ran at (`quick`, `full`, …) |
+//! | `base_seed` | integer | RNG seed of replicate 0; replicate `r` uses `base_seed + r` |
+//! | `replicates` | integer | seed replicates aggregated into each cell |
+//! | `cells` | array | one object per grid cell, in the spec's presentation order |
+//!
+//! Each cell object:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `topo` | string | topology label (coordinate, ⅓) |
+//! | `original` | string | original-scheduler label (coordinate, ⅔) |
+//! | `util` | number | target utilization of the most-loaded core link (coordinate, 3/3) |
+//! | `replicates` | integer | replicates actually aggregated |
+//! | `total_packets` | stat | packets replayed |
+//! | `frac_overdue` | stat | fraction of packets late in the LSTF replay |
+//! | `frac_overdue_gt_t` | stat | fraction late by more than `T` |
+//! | `t_us` | stat | the threshold `T` in µs |
+//! | `max_congestion_points` | stat | largest congestion-point count in the original schedule |
+//! | `mean_slack_us` | stat | mean slack (µs) in the original schedule |
+//!
+//! where a **stat** is `{"mean": …, "stddev": …, "stderr": …}` over the
+//! cell's seed replicates (stddev/stderr are 0 for a single replicate;
+//! non-finite values render as `null`).
+//!
+//! CSV: one header line, one line per cell —
+//! `topo,original,util,replicates` followed by `<metric>_mean,<metric>_stddev`
+//! pairs for the six metrics above, in the same order.
+//!
+//! ## Figure artifacts (`FigReport`, `"kind": "figure"`)
+//!
+//! The distribution payload: every replicate evaluates its measured
+//! distribution (delay-ratio CDF, per-bucket FCT means, tail-delay
+//! percentiles, Jain indices per window) on the grid's fixed x-axis, and
+//! the engine aggregates **per point** across replicates. JSON, top
+//! level:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `kind` | string | `"figure"` |
+//! | `name` | string | grid name, equals the file stem (`fig1`, …) |
+//! | `title` | string | human figure title |
+//! | `scale` | string | scale label |
+//! | `base_seed` | integer | seed of replicate 0 |
+//! | `replicates` | integer | seed replicates per series |
+//! | `axis` | string | x-axis name (`ratio`, `percentile`, `t_ms`, `bucket`, …) |
+//! | `series` | array | one object per series, in presentation order |
+//!
+//! Each series object:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `series` | string | series label (the figure cell's coordinate) |
+//! | `replicates` | integer | replicates aggregated |
+//! | `scalars` | object | named per-series summaries, each a **stat** |
+//! | `points` | array | the curve: `{"x": …, ["label": …,] "mean": …, "stddev": …, "stderr": …}` per axis point |
+//!
+//! `label` appears only on categorical axes (e.g. Figure 2's flow-size
+//! buckets, where `x` is the bucket index).
+//!
+//! CSV (long format): header
+//! `series,metric,x,label,mean,stddev,stderr`; scalar rows carry the
+//! scalar name in `metric` with empty `x`/`label`, point rows carry the
+//! axis name in `metric` plus their `x` (and `label` when categorical).
 
 pub mod artifact;
 pub mod cell;
+pub mod diff;
 pub mod engine;
 pub mod grid;
 pub mod pool;
 
 pub use artifact::Json;
-pub use cell::{record_and_replay, run_cell, CellMetrics};
-pub use engine::{run_sweep, run_sweep_with, Stat, SweepReport, SweepResult};
-pub use grid::{CellCoord, Job, SimScale, SweepSpec, TopoKind};
+pub use cell::{record_and_replay, run_cell, CellMetrics, DistMetrics};
+pub use diff::{diff_artifacts, DiffOptions, DiffReport};
+pub use engine::{
+    run_fig_with, run_sweep, run_sweep_with, DistResult, FigReport, Stat, SweepReport, SweepResult,
+};
+pub use grid::{CellCoord, FigAxis, FigJob, FigSpec, Job, SimScale, SweepSpec, TopoKind};

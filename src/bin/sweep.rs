@@ -6,35 +6,98 @@
 //! `target/sweep/` (override with `--out DIR`). The artifacts are
 //! byte-identical for every `--jobs` value.
 //!
+//! The `diff` subcommand compares two JSON artifacts (table or figure)
+//! structurally, keyed by grid coordinate, and exits nonzero when they
+//! diverge beyond the given tolerance — the cross-run regression check:
+//!
 //! ```sh
 //! cargo run --release --bin sweep -- --jobs 4 --replicates 3
 //! cargo run --release --bin sweep -- --grid smoke --jobs 2
+//! cargo run --release --bin sweep -- diff baseline.json target/sweep/table1.json
+//! cargo run --release --bin sweep -- diff old.json new.json --rel-tol 1e-6
 //! ```
 
 use std::path::PathBuf;
 use ups_bench::Scale;
-use ups_sweep::{run_sweep, SweepReport, SweepSpec};
+use ups_sweep::{diff_artifacts, run_sweep, DiffOptions, SweepReport, SweepSpec};
 
 const GRIDS: &str = "table1 (default), smoke, util, sched, topo";
 
 fn usage_exit(err: &str) -> ! {
     eprintln!(
         "error: {err}\n\
-         usage: sweep [--grid NAME] [--out DIR] [scale flags]\n  \
+         usage: sweep [--grid NAME] [--out DIR] [scale flags]\n       \
+         sweep diff OLD.json NEW.json [--rel-tol X] [--abs-tol X]\n  \
          --grid NAME  grid to run: {GRIDS}\n  \
-         --out DIR    artifact directory (default: target/sweep)\n\
+         --out DIR    artifact directory (default: target/sweep)\n  \
+         --rel-tol X  diff: relative tolerance per numeric value (default 0 = exact)\n  \
+         --abs-tol X  diff: absolute tolerance per numeric value (default 0 = exact)\n\
          {}",
         ups_bench::scale::SCALE_FLAGS
     );
     std::process::exit(2);
 }
 
+/// `sweep diff OLD NEW [--rel-tol X] [--abs-tol X]`: exit 0 when the
+/// artifacts match under the tolerance, 1 when they diverge (the
+/// regression signal for CI), 2 on usage/IO/parse errors.
+fn run_diff(args: &[String]) -> ! {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut tol = |flag: &str| -> f64 {
+            match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(x)) if x >= 0.0 => x,
+                Some(_) => usage_exit(&format!("{flag}: expected a non-negative number")),
+                None => usage_exit(&format!("{flag} requires a value")),
+            }
+        };
+        match a.as_str() {
+            "--rel-tol" => opts.rel_tol = tol("--rel-tol"),
+            "--abs-tol" => opts.abs_tol = tol("--abs-tol"),
+            other if other.starts_with('-') => usage_exit(&format!("unknown diff flag `{other}`")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [old_path, new_path] = &paths[..] else {
+        usage_exit("diff takes exactly two artifact paths");
+    };
+    let read = |p: &PathBuf| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: reading {}: {e}", p.display());
+            std::process::exit(2);
+        })
+    };
+    let (old, new) = (read(old_path), read(new_path));
+    let report = diff_artifacts(&old, &new, &opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "sweep diff: {} vs {}",
+        old_path.display(),
+        new_path.display()
+    );
+    print!("{}", report.render());
+    if report.is_clean() {
+        println!("artifacts match");
+        std::process::exit(0);
+    }
+    println!("artifacts DIFFER");
+    std::process::exit(1);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        run_diff(&args[1..]);
+    }
     // Split off the sweep-specific flags; everything else is scale.
     let mut grid = "table1".to_string();
     let mut out = PathBuf::from("target/sweep");
     let mut scale_args = Vec::new();
-    let mut it = std::env::args().skip(1);
+    let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--grid" => match it.next() {

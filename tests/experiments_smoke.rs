@@ -4,8 +4,8 @@
 //! functions, so this also guards the reproduction entry points.)
 
 use ups_bench::{
-    ablation_lstf_key, ablation_preempt, ablation_priority, congestion_points, fig1, fig2, fig3,
-    fig4, table1, Scale,
+    ablation_lstf_key, ablation_preempt, ablation_priority, congestion_points, fig1, fig2_report,
+    fig3, fig4_report, table1, Scale,
 };
 use ups_sim::Dur;
 
@@ -61,12 +61,20 @@ fn fig1_cdfs_show_lstf_reducing_queueing() {
 
 #[test]
 fn fig2_reports_buckets_for_every_scheme() {
-    let (buckets, results) = fig2(&tiny());
-    assert_eq!(results.len(), 4);
-    for r in &results {
-        assert_eq!(r.buckets.len(), buckets.count());
-        assert!(r.completed.0 > 0, "{}: nothing completed", r.label);
-        assert!(r.mean_fct > 0.0);
+    // Through the sweep engine (a 1-replicate report reproduces the
+    // legacy serial values; jobs=4 exercises the pool) so the fig2
+    // distribution-grid wiring cannot rot untested.
+    let report = fig2_report(&tiny());
+    assert_eq!(report.results.len(), 4);
+    // paper_fig2: ten bucket edges plus the open tail.
+    assert_eq!(report.axis.xs.len(), 11);
+    assert_eq!(report.axis.labels.as_ref().unwrap().len(), 11);
+    for r in &report.results {
+        assert_eq!(r.points.len(), 11);
+        // Scalars: [mean_fct_s, completed_flows, total_flows].
+        assert!(r.scalars[0].mean > 0.0, "{}: zero mean FCT", r.series);
+        assert!(r.scalars[1].mean > 0.0, "{}: nothing completed", r.series);
+        assert!(r.scalars[1].mean <= r.scalars[2].mean);
     }
 }
 
@@ -83,19 +91,19 @@ fn fig3_produces_tail_stats() {
 
 #[test]
 fn fig4_fairness_series_has_all_schemes() {
-    let series = fig4(&tiny());
-    assert_eq!(series.len(), 7); // FIFO, FQ, five rest values
-    for (label, pts) in &series {
-        assert_eq!(pts.len(), 20, "{label}: wrong window count");
-        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.jain)));
+    // Through the sweep engine, like fig2 above (1 replicate, pooled).
+    let report = fig4_report(&tiny());
+    assert_eq!(report.results.len(), 7); // FIFO, FQ, five rest values
+    assert_eq!(report.axis.xs.len(), 20);
+    for r in &report.results {
+        assert_eq!(r.points.len(), 20, "{}: wrong window count", r.series);
+        assert!(r.points.iter().all(|s| (0.0..=1.0).contains(&s.mean)));
     }
     // FQ converges to near-perfect fairness.
-    let fq = &series[1];
-    assert!(
-        fq.1.last().unwrap().jain > 0.9,
-        "FQ final {}",
-        fq.1.last().unwrap().jain
-    );
+    let fq = &report.results[1];
+    assert_eq!(fq.series, "FQ");
+    let last = fq.points.last().unwrap();
+    assert!(last.mean > 0.9, "FQ final {}", last.mean);
 }
 
 #[test]

@@ -2,8 +2,9 @@
 //! byte-identical regardless of the worker count, because every result
 //! is keyed to its grid coordinates rather than completion order.
 
-use ups_bench::Scale;
-use ups_sweep::{run_sweep, SweepSpec};
+use ups_bench::{fig1_report, Scale};
+use ups_sim::Dur;
+use ups_sweep::{diff_artifacts, run_sweep, DiffOptions, SweepSpec};
 
 /// ISSUE 2 acceptance: at `Scale::quick` with 2 replicates, the
 /// serialized JSON (and CSV) artifact from `--jobs 1` is byte-identical
@@ -20,6 +21,46 @@ fn quick_scale_artifacts_are_identical_across_worker_counts() {
         "JSON artifacts differ"
     );
     assert_eq!(serial.to_csv(), parallel.to_csv(), "CSV artifacts differ");
+}
+
+/// ISSUE 3 acceptance: the same guarantee holds for a fig-style
+/// distribution grid — Figure 1's six-series × 2-replicate sweep at a
+/// tiny scale serializes byte-identically for `--jobs 1` and `--jobs 4`
+/// (the per-point Welford aggregation is keyed to grid coordinates, not
+/// completion order), and a self-diff of the artifact is clean.
+#[test]
+fn fig_grid_artifacts_are_identical_across_worker_counts() {
+    let mut scale = Scale::quick();
+    scale.edges_per_core = 2; // tiny topology keeps this test fast
+    scale.horizon = Dur::from_millis(2);
+    scale.label = "tiny";
+    scale.replicates = 2;
+    scale.jobs = 1;
+    let serial = fig1_report(&scale);
+    scale.jobs = 4;
+    let parallel = fig1_report(&scale);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "figure JSON artifacts differ"
+    );
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "figure CSV artifacts differ"
+    );
+    let diff = diff_artifacts(
+        &serial.to_json(),
+        &parallel.to_json(),
+        &DiffOptions::default(),
+    )
+    .expect("artifacts parse");
+    assert!(diff.is_clean(), "{}", diff.render());
+    assert!(
+        diff.compared > 100,
+        "vacuous diff: {} values",
+        diff.compared
+    );
 }
 
 /// Replicates draw distinct workloads (different seeds) yet aggregate
