@@ -1,0 +1,156 @@
+//! Microbenchmarks of the event core: the hierarchical indexed event
+//! wheel (`ups_sim::EventQueue`) against a reference `BinaryHeap`
+//! implementation with the same `(time, class, seq)` ordering — the
+//! structure the wheel replaced.
+//!
+//! Two workloads, both allocation-free in steady state:
+//!
+//! * **hold** — the classic event-list pattern: a fixed population of
+//!   pending events; each iteration pops the earliest and reschedules it
+//!   a pseudo-random delay into the future. This is what the simulation
+//!   main loop does with `TxDone`/`Arrive` chains.
+//! * **cascade** — bursts of same-instant events across the ordering
+//!   classes (arrival settling before transmission starts), the other
+//!   hot pattern in the network event loop.
+//!
+//! `BENCH_pr4.json` records the measured wheel-vs-heap ratio; the
+//! acceptance bar for PR 4 is ≥ 2× on hold.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use ups_sim::{DetRng, Dur, EventQueue, Time, WHEEL_HORIZON};
+
+/// The pre-wheel event queue: one global min-heap over the full key.
+struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u8, u64, E)>>,
+    seq: u64,
+}
+
+impl<E: Ord> HeapQueue<E> {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: Time, class: u8, event: E) {
+        self.heap
+            .push(Reverse((time.as_ps(), class, self.seq, event)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse((t, _, _, e))| (Time(t), e))
+    }
+}
+
+/// Pending-event population for the hold model: large enough that the
+/// heap's O(log n) with cache-missing sift chains actually bites, and in
+/// the range a loaded fat-tree sweep cell reaches.
+const HOLD_EVENTS: usize = 65_536;
+/// Pop-push cycles per iteration.
+const HOLD_OPS: u64 = 200_000;
+
+/// Pseudo-random reschedule delay mirroring the simulator's event mix:
+/// a quarter same-instant (deferred `StartTx` after each completion),
+/// half short transmission/propagation hops (µs scale), a timer band in
+/// the milliseconds (TCP RTO, flow interarrivals), and a 1-in-16 tail
+/// past the wheel horizon to keep the far tier honest.
+fn delay(rng: &mut DetRng) -> Dur {
+    match rng.next_u64() % 16 {
+        0 => Dur(WHEEL_HORIZON.as_ps() + rng.next_u64() % (2 * WHEEL_HORIZON.as_ps())), // far
+        1..=4 => Dur::ZERO,                           // same instant
+        5..=7 => Dur(rng.next_u64() % 8_000_000_000), // ms-scale timers
+        _ => Dur(rng.next_u64() % 40_000_000),        // µs-scale hops
+    }
+}
+
+fn bench_hold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_core_hold");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(HOLD_OPS));
+
+    group.bench_function("wheel", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = DetRng::new(7);
+            for i in 0..HOLD_EVENTS as u64 {
+                q.push(Time(rng.next_u64() % 4_000_000_000), (i % 4) as u8, i);
+            }
+            for _ in 0..HOLD_OPS {
+                let (t, id) = q.pop().expect("hold population never drains");
+                q.push(t + delay(&mut rng), (id % 4) as u8, id);
+            }
+            black_box(q.len())
+        })
+    });
+
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut q = HeapQueue::new();
+            let mut rng = DetRng::new(7);
+            for i in 0..HOLD_EVENTS as u64 {
+                q.push(Time(rng.next_u64() % 4_000_000_000), (i % 4) as u8, i);
+            }
+            for _ in 0..HOLD_OPS {
+                let (t, id) = q.pop().expect("hold population never drains");
+                q.push(t + delay(&mut rng), (id % 4) as u8, id);
+            }
+            black_box(q.seq)
+        })
+    });
+    group.finish();
+}
+
+/// Same-instant cascade: each burst schedules arrivals (class 0), a
+/// timer (1), completions (2) and deferred starts (3) at one instant,
+/// pops them all, then advances to the next instant.
+const CASCADE_BURSTS: u64 = 20_000;
+const CASCADE_FANOUT: u64 = 8;
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_core_cascade");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CASCADE_BURSTS * CASCADE_FANOUT));
+
+    group.bench_function("wheel", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut sum = 0u64;
+            for burst in 0..CASCADE_BURSTS {
+                let t = Time(burst * 12_000_000); // one tx-time apart
+                for i in 0..CASCADE_FANOUT {
+                    q.push(t, (i % 4) as u8, i);
+                }
+                for _ in 0..CASCADE_FANOUT {
+                    sum += q.pop().expect("burst pending").1;
+                }
+            }
+            black_box(sum)
+        })
+    });
+
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut q = HeapQueue::new();
+            let mut sum = 0u64;
+            for burst in 0..CASCADE_BURSTS {
+                let t = Time(burst * 12_000_000);
+                for i in 0..CASCADE_FANOUT {
+                    q.push(t, (i % 4) as u8, i);
+                }
+                for _ in 0..CASCADE_FANOUT {
+                    sum += q.pop().expect("burst pending").1;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hold, bench_cascade);
+criterion_main!(benches);

@@ -72,7 +72,11 @@ impl Cdf {
         ps.iter().map(|&p| self.quantile(p)).collect()
     }
 
-    /// Evenly spaced (x, F(x)) points for plotting/reporting.
+    /// Evenly spaced (x, F(x)) points for plotting/reporting. Degenerate
+    /// inputs stay meaningful: an empty CDF yields no points, and a
+    /// constant distribution (`min == max`, a real occurrence at tiny
+    /// sweep scales) yields the single point `(x, 1.0)` instead of `n`
+    /// duplicates of it.
     pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
         assert!(n >= 2);
         if self.sorted.is_empty() {
@@ -80,6 +84,9 @@ impl Cdf {
         }
         let lo = self.sorted[0];
         let hi = *self.sorted.last().expect("non-empty");
+        if lo == hi {
+            return vec![(lo, 1.0)];
+        }
         (0..n)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
@@ -224,9 +231,12 @@ impl SizeBuckets {
         self.edges.len() + 1
     }
 
-    /// Label for bucket `i`.
+    /// Label for bucket `i`. Total: with no edges there is exactly one
+    /// (open) bucket, labelled `"all"` — indexing `edges` would panic.
     pub fn label(&self, i: usize) -> String {
-        if i == 0 {
+        if self.edges.is_empty() {
+            "all".to_string()
+        } else if i == 0 {
             format!("<={}", self.edges[0])
         } else if i < self.edges.len() {
             format!("{}-{}", self.edges[i - 1] + 1, self.edges[i])
@@ -289,6 +299,27 @@ mod tests {
         let pts = c.points(11);
         assert!(pts.windows(2).all(|w| w[0].1 <= w[1].1));
         assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn points_of_constant_distribution_is_a_single_point() {
+        let c = Cdf::new(vec![4.2; 7]);
+        assert_eq!(c.points(11), vec![(4.2, 1.0)]);
+    }
+
+    #[test]
+    fn points_of_empty_cdf_is_empty() {
+        let c = Cdf::new(Vec::new());
+        assert!(c.points(5).is_empty());
+    }
+
+    #[test]
+    fn empty_edges_have_one_total_bucket() {
+        let b = SizeBuckets { edges: Vec::new() };
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.index(0), 0);
+        assert_eq!(b.index(u64::MAX), 0);
+        assert_eq!(b.label(0), "all");
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod network;
 pub mod node;
 pub mod packet;
 pub mod scheduler;
+pub mod slab;
 pub mod testutil;
 pub mod trace;
 
@@ -26,4 +27,5 @@ pub use network::{App, Network};
 pub use node::{NextHop, Node, NodeKind};
 pub use packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketKind, Path, SchedHeader};
 pub use scheduler::{EvictOutcome, Queued, Scheduler};
+pub use slab::{PacketRef, PacketSlab};
 pub use trace::{Counters, HopTimes, PacketRecord, Telemetry, TraceLevel};

@@ -158,6 +158,14 @@ impl Link {
         // it has (drop-tail default).
         if let Some(cap) = self.buffer {
             while self.queued_bytes + q.pkt.size as u64 > cap {
+                // An arrival bigger than the whole buffer can never fit:
+                // once the queue is empty no eviction can help, so drop
+                // the arrival rather than spin on `evict_for` forever.
+                if self.sched.is_empty() {
+                    self.stats.dropped += 1;
+                    act.dropped.push(q.pkt);
+                    return act;
+                }
                 match self.sched.evict_for(&q) {
                     EvictOutcome::Evicted(victim) => {
                         self.queued_bytes -= victim.pkt.size as u64;
@@ -216,8 +224,7 @@ impl Link {
         self.stats.tx_done += 1;
         self.stats.bytes_tx += pkt.size as u64;
         self.stats.busy += now - fl.tx_start;
-        pkt.hops_done += 1;
-        pkt.tx_left = None;
+        pkt.advance_hop();
         act.completed = Some(pkt);
         act.want_start = !self.sched.is_empty();
         act
@@ -288,6 +295,9 @@ impl Link {
         let q = self.make_queued(pkt, now);
         self.queued_bytes += q.pkt.size as u64;
         self.sched.enqueue(q);
+        // The suspended packet is back in the queue: the depth high-water
+        // mark must see it, like every other enqueue path does.
+        self.stats.max_queue_pkts = self.stats.max_queue_pkts.max(self.sched.len());
     }
 
     /// Wrap a packet in its queue entry, computing the static per-hop
@@ -423,6 +433,69 @@ mod tests {
         let p = l.tx_done(gen, end).completed.unwrap();
         assert_eq!(p.qdelay, Dur::ZERO);
         assert_eq!(p.hdr.slack, 0);
+    }
+
+    /// Minimal preemption-capable scheduler (urgency = header slack,
+    /// FIFO service): `ups-net` cannot use `ups-sched`'s LSTF here
+    /// without a dependency cycle.
+    #[derive(Debug, Default)]
+    struct SlackUrgency {
+        q: std::collections::VecDeque<Queued>,
+    }
+    impl Scheduler for SlackUrgency {
+        fn name(&self) -> &'static str {
+            "test-slack"
+        }
+        fn enqueue(&mut self, q: Queued) {
+            self.q.push_back(q);
+        }
+        fn dequeue(&mut self) -> Option<Queued> {
+            self.q.pop_front()
+        }
+        fn len(&self) -> usize {
+            self.q.len()
+        }
+        fn urgency(&self, q: &Queued) -> Option<i64> {
+            Some(q.pkt.hdr.slack)
+        }
+    }
+
+    #[test]
+    fn preempt_updates_queue_depth_high_water_mark() {
+        let mut l = mk_link();
+        l.preemptive = true;
+        l.set_scheduler(Box::new(SlackUrgency::default()));
+
+        let mut lazy = mk_pkt(0, 1500);
+        lazy.hdr.slack = 1_000_000_000; // plenty of slack: preemptible
+        l.admit(lazy, Time::ZERO);
+        l.try_start(Time::ZERO).unwrap(); // in flight, queue empty
+        assert_eq!(l.stats.max_queue_pkts, 1);
+
+        let mut urgent = mk_pkt(1, 1500);
+        urgent.hdr.slack = -1; // more urgent than the in-flight packet
+        l.admit(urgent, Time::from_micros(1));
+        assert_eq!(l.stats.preemptions, 1, "urgent arrival must preempt");
+        // Both the re-queued (suspended) packet and the arrival are in
+        // the queue now; the high-water mark must count them both.
+        assert_eq!(l.queue_len(), 2);
+        assert_eq!(
+            l.stats.max_queue_pkts, 2,
+            "suspended packet missing from the depth high-water mark"
+        );
+    }
+
+    #[test]
+    fn oversized_arrival_on_empty_queue_is_dropped_not_looped() {
+        let mut l = mk_link();
+        l.buffer = Some(1000); // smaller than one 1500 B packet
+        let act = l.admit(mk_pkt(0, 1500), Time::ZERO);
+        assert_eq!(act.dropped.len(), 1);
+        assert_eq!(act.dropped[0].id, PacketId(0));
+        assert!(!act.want_start, "nothing admitted, nothing to start");
+        assert_eq!(l.stats.dropped, 1);
+        assert_eq!(l.stats.enqueued, 0);
+        assert_eq!(l.queue_len(), 0);
     }
 
     #[test]

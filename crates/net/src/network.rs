@@ -20,6 +20,7 @@ use crate::link::Link;
 use crate::node::{NextHop, Node, NodeKind};
 use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketKind, Path, SchedHeader};
 use crate::scheduler::Scheduler;
+use crate::slab::{PacketRef, PacketSlab};
 use crate::trace::{HopTimes, Telemetry, TraceLevel};
 use std::sync::Arc;
 use ups_sim::{Bandwidth, Dur, EventQueue, Time};
@@ -29,10 +30,15 @@ use ups_sim::{Bandwidth, Dur, EventQueue, Time};
 /// transmission completions (2), and transmission-start decisions last
 /// (3) — so a port choosing what to send at time `t` sees every packet
 /// that has arrived by `t`, as the paper's formal model assumes.
+///
+/// `Arrive` carries a [`PacketRef`] into the network's [`PacketSlab`],
+/// not the packet itself: the event is 16 bytes and scheduling a hop
+/// allocates nothing (the old representation boxed every packet into its
+/// event — one heap allocation per packet-hop).
 #[derive(Debug)]
 enum Ev {
     /// Packet fully arrived at `node` (injection or store-and-forward hop).
-    Arrive { node: NodeId, pkt: Box<Packet> },
+    Arrive { node: NodeId, pkt: PacketRef },
     /// Application timer at `node`.
     Timer { node: NodeId, id: u64 },
     /// Link `link` finished the transmission tagged `gen`.
@@ -75,6 +81,8 @@ pub struct Network {
     /// Telemetry sink.
     pub telemetry: Telemetry,
     queue: EventQueue<Ev>,
+    /// Arena for packets travelling between events (see [`PacketSlab`]).
+    slab: PacketSlab,
     apps: Vec<Option<Box<dyn App>>>,
     next_pkt_id: u64,
     routes_ready: bool,
@@ -88,6 +96,7 @@ impl Network {
             links: Vec::new(),
             telemetry: Telemetry::new(level),
             queue: EventQueue::new(),
+            slab: PacketSlab::new(),
             apps: Vec::new(),
             next_pkt_id: 0,
             routes_ready: false,
@@ -313,14 +322,9 @@ impl Network {
             hop_first_tx: at,
         };
         self.telemetry.on_inject(&pkt);
-        self.queue.push(
-            at,
-            class::ARRIVE,
-            Ev::Arrive {
-                node: src,
-                pkt: Box::new(pkt),
-            },
-        );
+        let pkt = self.slab.insert(pkt);
+        self.queue
+            .push(at, class::ARRIVE, Ev::Arrive { node: src, pkt });
         id
     }
 
@@ -360,6 +364,19 @@ impl Network {
         self.queue.len()
     }
 
+    /// Packets currently travelling between events (injected or
+    /// propagating toward their next hop; excludes packets sitting in
+    /// link queues).
+    pub fn packets_in_flight(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Peak simultaneous [`packets_in_flight`](Network::packets_in_flight)
+    /// count — the packet arena's high-water mark (capacity diagnostics).
+    pub fn peak_packets_in_flight(&self) -> usize {
+        self.slab.high_water()
+    }
+
     /// Process a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
         let Some((now, ev)) = self.queue.pop() else {
@@ -367,7 +384,7 @@ impl Network {
         };
         self.telemetry.counters.events += 1;
         match ev {
-            Ev::Arrive { node, pkt } => self.handle_arrive(node, *pkt, now),
+            Ev::Arrive { node, pkt } => self.handle_arrive(node, pkt, now),
             Ev::TxDone { link, gen } => self.handle_tx_done(link, gen, now),
             Ev::Timer { node, id } => self.dispatch_timer(node, id),
             Ev::StartTx { link } => self.handle_start_tx(link, now),
@@ -393,7 +410,8 @@ impl Network {
         self.queue.now()
     }
 
-    fn handle_arrive(&mut self, node: NodeId, mut pkt: Packet, now: Time) {
+    fn handle_arrive(&mut self, node: NodeId, pkt: PacketRef, now: Time) {
+        let mut pkt = self.slab.remove(pkt);
         if node == pkt.dst && pkt.at_destination() {
             self.telemetry.on_deliver(&pkt, now);
             self.dispatch_deliver(node, pkt, now);
@@ -438,14 +456,9 @@ impl Network {
             );
             let to = self.links[lid.0 as usize].to;
             let prop = self.links[lid.0 as usize].prop;
-            self.queue.push(
-                now + prop,
-                class::ARRIVE,
-                Ev::Arrive {
-                    node: to,
-                    pkt: Box::new(pkt),
-                },
-            );
+            let pkt = self.slab.insert(pkt);
+            self.queue
+                .push(now + prop, class::ARRIVE, Ev::Arrive { node: to, pkt });
         }
         if actions.want_start {
             let cls = if self.links[lid.0 as usize].bw == Bandwidth::INFINITE {

@@ -162,6 +162,14 @@ impl Packet {
     pub fn remaining_tmin(&self) -> Dur {
         self.path.tmin_from(self.hops_done as usize, self.size)
     }
+
+    /// Mark one hop fully traversed: bump the hop counter and clear the
+    /// per-hop suspended-transmission state (a resumed transmission that
+    /// completed must not carry `tx_left` to the next port).
+    pub fn advance_hop(&mut self) {
+        self.hops_done += 1;
+        self.tx_left = None;
+    }
 }
 
 #[cfg(test)]

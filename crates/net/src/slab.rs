@@ -1,0 +1,147 @@
+//! The packet arena: slot-reusing storage for in-flight packets.
+//!
+//! The event loop used to box every packet into its `Arrive` event — one
+//! heap allocation *per hop* of every packet, right on the hot path. The
+//! [`PacketSlab`] replaces that: packets live in a dense `Vec` of slots,
+//! events carry a 4-byte [`PacketRef`] index, and freed slots go on a free
+//! list for reuse. In steady state (a warmed-up simulation with a roughly
+//! stable number of packets in flight) inserting and removing packets
+//! performs **zero** heap allocation.
+//!
+//! A `PacketRef` is only as alive as the slot it names: removing a packet
+//! invalidates its ref, and the slot may be handed to a different packet
+//! by a later insert. The network is the only producer and consumer of
+//! refs — it inserts at injection and at hop completion, and removes at
+//! the matching `Arrive` — so every ref is used exactly once, enforced in
+//! debug builds by poisoning empty slots.
+
+use crate::packet::Packet;
+
+/// Index of a live packet in the [`PacketSlab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef(u32);
+
+/// A slot-reusing arena of in-flight packets.
+#[derive(Debug, Default)]
+pub struct PacketSlab {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    /// Peak simultaneously-live packet count (diagnostics: how much
+    /// packet state the simulation actually keeps in flight).
+    high_water: usize,
+}
+
+impl PacketSlab {
+    /// An empty slab.
+    pub fn new() -> PacketSlab {
+        PacketSlab::default()
+    }
+
+    /// Store `pkt`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, pkt: Packet) -> PacketRef {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.slots[idx as usize].is_none(), "free-listed live slot");
+                self.slots[idx as usize] = Some(pkt);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("PacketSlab overflow");
+                self.slots.push(Some(pkt));
+                idx
+            }
+        };
+        self.high_water = self.high_water.max(self.len());
+        PacketRef(idx)
+    }
+
+    /// Remove and return the packet at `r`, freeing its slot. Panics if
+    /// the ref was already consumed (a use-after-free in the event loop).
+    pub fn remove(&mut self, r: PacketRef) -> Packet {
+        let pkt = self.slots[r.0 as usize]
+            .take()
+            .expect("PacketRef used after removal");
+        self.free.push(r.0);
+        pkt
+    }
+
+    /// Borrow the packet at `r`.
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        self.slots[r.0 as usize]
+            .as_ref()
+            .expect("PacketRef used after removal")
+    }
+
+    /// Mutably borrow the packet at `r`.
+    pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
+        self.slots[r.0 as usize]
+            .as_mut()
+            .expect("PacketRef used after removal")
+    }
+
+    /// Number of live packets.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True if no packets are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak simultaneously-live packet count over the slab's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total slots ever allocated (live + reusable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::SchedHeader;
+    use crate::testutil::packet;
+
+    #[test]
+    fn insert_get_remove_round_trips() {
+        let mut slab = PacketSlab::new();
+        let r0 = slab.insert(packet(0, 0, 0, SchedHeader::default()));
+        let r1 = slab.insert(packet(1, 1, 0, SchedHeader::default()));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(r0).id.0, 0);
+        assert_eq!(slab.get(r1).id.0, 1);
+        slab.get_mut(r1).hops_done = 3;
+        assert_eq!(slab.remove(r1).hops_done, 3);
+        assert_eq!(slab.remove(r0).id.0, 0);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_without_growth() {
+        let mut slab = PacketSlab::new();
+        // Steady state: two packets in flight, many hops each.
+        let mut live = vec![
+            slab.insert(packet(0, 0, 0, SchedHeader::default())),
+            slab.insert(packet(1, 0, 1, SchedHeader::default())),
+        ];
+        for hop in 0..1000 {
+            let pkt = slab.remove(live.remove(0));
+            live.push(slab.insert(pkt));
+            assert_eq!(slab.capacity(), 2, "slab grew at hop {hop}");
+        }
+        assert_eq!(slab.high_water(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "used after removal")]
+    fn stale_ref_is_rejected() {
+        let mut slab = PacketSlab::new();
+        let r = slab.insert(packet(0, 0, 0, SchedHeader::default()));
+        slab.remove(r);
+        slab.remove(r);
+    }
+}

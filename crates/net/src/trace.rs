@@ -143,6 +143,13 @@ impl Telemetry {
             return;
         }
         debug_assert_eq!(pkt.id.0 as usize, self.packets.len());
+        // At `Hops` level every hop will push one entry; sizing the vec
+        // to the (known, fixed) path length up front means the per-hop
+        // record append never reallocates.
+        let hops = match self.level {
+            TraceLevel::Hops => Vec::with_capacity(pkt.path.hops()),
+            _ => Vec::new(),
+        };
         self.packets.push(PacketRecord {
             flow: pkt.flow,
             seq: pkt.seq,
@@ -153,7 +160,7 @@ impl Telemetry {
             delivered: None,
             dropped: false,
             path: Arc::clone(&pkt.path),
-            hops: Vec::new(),
+            hops,
         });
     }
 

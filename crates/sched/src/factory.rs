@@ -36,6 +36,23 @@ pub enum SchedKind {
 }
 
 impl SchedKind {
+    /// Every constructible kind, in Table 1 order (iteration for tests
+    /// and exhaustive sweeps).
+    pub const ALL: [SchedKind; 12] = [
+        SchedKind::Fifo,
+        SchedKind::Lifo,
+        SchedKind::Random,
+        SchedKind::Priority,
+        SchedKind::Sjf,
+        SchedKind::Srpt,
+        SchedKind::Fq,
+        SchedKind::Drr,
+        SchedKind::FifoPlus,
+        SchedKind::Lstf,
+        SchedKind::Edf,
+        SchedKind::FqFifoPlusMix,
+    ];
+
     /// Build a scheduler instance for `link`. `seed` feeds the Random
     /// scheduler (mixed with the link id so each port draws its own
     /// stream) and is ignored by deterministic algorithms.
@@ -97,21 +114,7 @@ mod tests {
 
     #[test]
     fn builds_every_kind() {
-        let kinds = [
-            SchedKind::Fifo,
-            SchedKind::Lifo,
-            SchedKind::Random,
-            SchedKind::Priority,
-            SchedKind::Sjf,
-            SchedKind::Srpt,
-            SchedKind::Fq,
-            SchedKind::Drr,
-            SchedKind::FifoPlus,
-            SchedKind::Lstf,
-            SchedKind::Edf,
-            SchedKind::FqFifoPlusMix,
-        ];
-        for k in kinds {
+        for k in SchedKind::ALL {
             let s = k.build(LinkId(3), 42);
             assert_eq!(s.len(), 0, "{} not empty at birth", s.name());
         }

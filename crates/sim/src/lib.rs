@@ -14,6 +14,6 @@ pub mod queue;
 pub mod rng;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, WHEEL_HORIZON};
 pub use rng::DetRng;
 pub use time::{Bandwidth, Dur, Time, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};

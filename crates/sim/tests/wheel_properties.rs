@@ -1,0 +1,98 @@
+//! Property test: the hierarchical event wheel pops in *exactly* the
+//! order a reference min-heap over `(time, class, seq)` would, under
+//! random interleaved push/pop — including same-instant class ties,
+//! same-slot bursts, and far-future events that overflow the wheel
+//! horizon into the heap tier. This is the determinism invariant every
+//! replay artifact rests on: swap the queue implementation, keep the
+//! event order bit-for-bit.
+
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use ups_sim::{EventQueue, Time, WHEEL_HORIZON};
+
+/// Reference model: the old implementation — one global min-heap keyed
+/// by `(time, class, insertion seq)`.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u8, u64)>>,
+    seq: u64,
+}
+
+impl HeapModel {
+    fn push(&mut self, time_ps: u64, class: u8) -> u64 {
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((time_ps, class, id)));
+        id
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse((t, _, id))| (t, id))
+    }
+}
+
+/// One scripted operation: `pop` when `is_pop`, otherwise push at
+/// `now + dt` in `class`.
+type Op = (bool, u64, u8);
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let horizon = WHEEL_HORIZON.as_ps();
+    let dt = prop_oneof![
+        Just(0u64),            // same instant (class ties)
+        0u64..8_000_000,       // same wheel slot
+        0u64..50_000_000,      // nearby wheel buckets
+        0u64..horizon * 5,     // spans the whole wheel + far heap
+        horizon..horizon * 10, // strictly past the horizon
+    ];
+    prop::collection::vec(
+        (
+            prop_oneof![Just(true), Just(false), Just(false)],
+            dt,
+            0u8..5,
+        ),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wheel_pops_in_reference_heap_order(script in ops()) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut model = HeapModel::default();
+        let mut now = 0u64;
+
+        for &(is_pop, dt, class) in &script {
+            if is_pop {
+                let got = wheel.pop();
+                let want = model.pop();
+                prop_assert_eq!(
+                    got.map(|(t, id)| (t.as_ps(), id)),
+                    want,
+                    "mid-script pop diverged at now={now}"
+                );
+                if let Some((t, _)) = got {
+                    now = t.as_ps();
+                }
+            } else {
+                let t = now.saturating_add(dt);
+                let id = model.push(t, class);
+                wheel.push(Time(t), class, id);
+            }
+            prop_assert_eq!(wheel.len(), model.heap.len());
+        }
+
+        // Drain both to the end: every remaining event must agree too.
+        loop {
+            let got = wheel.pop().map(|(t, id)| (t.as_ps(), id));
+            let want = model.pop();
+            prop_assert_eq!(got, want, "drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}
