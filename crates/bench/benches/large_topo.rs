@@ -1,0 +1,70 @@
+//! Criterion benchmarks at the registry's large-topology scale: does
+//! the PR 4 allocation-free event core hold up on a fat-tree k=8 (128
+//! hosts, 80 switches, 768 links) with thousands of concurrent flows?
+//!
+//! Three measurements isolate the layers:
+//!
+//! * `fattree_k8_build_routes` — topology construction plus the
+//!   all-pairs route computation every sweep cell pays twice;
+//! * `fattree_k8_web_forwarding` — end-to-end packet forwarding under
+//!   the Poisson web workload (events/s through slab + wheel);
+//! * `fattree_k8_incast_forwarding` — the same engine under the incast
+//!   fan-in workload, whose synchronized bursts produce the deepest
+//!   queues the registry can generate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ups_core::workload::WorkloadKind;
+use ups_net::TraceLevel;
+use ups_sim::Dur;
+use ups_topo::fattree::{build, FatTreeConfig};
+
+fn k8(level: TraceLevel) -> ups_topo::Topology {
+    build(&FatTreeConfig::for_k(8), level)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_topo");
+    group.sample_size(10);
+    group.bench_function("fattree_k8_build_routes", |b| {
+        b.iter(|| {
+            let topo = k8(TraceLevel::Off);
+            black_box(topo.net.links.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_forwarding(kind: WorkloadKind, name: &str, c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_topo");
+    group.sample_size(10);
+
+    let horizon = Dur::from_millis(2);
+    let topo = k8(TraceLevel::Off);
+    let flows = kind.build(&topo, 0.7, horizon, 3);
+    let pkts: u64 = flows.iter().map(|f| f.pkts).sum();
+    drop(topo);
+
+    group.throughput(Throughput::Elements(pkts));
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            let mut topo = k8(TraceLevel::Off);
+            let mut stamper = ups_transport::HeaderStamper::zero();
+            ups_transport::inject_udp_flows(&mut topo.net, &flows, 1500, &mut stamper);
+            topo.net.run_to_completion();
+            black_box(topo.net.telemetry.counters.delivered)
+        })
+    });
+    group.finish();
+}
+
+fn bench_web(c: &mut Criterion) {
+    bench_forwarding(WorkloadKind::Web, "fattree_k8_web_forwarding", c);
+}
+
+fn bench_incast(c: &mut Criterion) {
+    bench_forwarding(WorkloadKind::Incast, "fattree_k8_incast_forwarding", c);
+}
+
+criterion_group!(benches, bench_build, bench_web, bench_incast);
+criterion_main!(benches);

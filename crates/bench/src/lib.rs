@@ -16,7 +16,7 @@
 //! | `ablation_lstf_key` | DESIGN.md ablation — last-bit vs pure-deadline keys |
 //! | `congestion_points` | §2.2 diagnostic — congestion points per packet |
 //! | `all_experiments` | everything above at the configured scale |
-//! | `sweep` | declarative parallel grid sweeps with JSON/CSV artifacts (lives at the workspace root; engine in `ups-sweep`) |
+//! | `sweep` | declarative parallel grid sweeps and registered scenarios with JSON/CSV artifacts (lives at the workspace root; engine + scenario registry in `ups-sweep`) |
 //!
 //! Every binary accepts `--full` for paper-like scale (all runs are still
 //! laptop-sized) and `--seed N`; the default "quick" scale finishes each

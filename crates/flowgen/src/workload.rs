@@ -7,6 +7,52 @@ use ups_net::{FlowId, NodeId};
 use ups_sim::{DetRng, Dur, Time};
 use ups_topo::Topology;
 
+/// Service-class tag carried by a generated flow, after the traffic
+/// model of "Joint Scheduling and Resource Allocation for Packets with
+/// Deadlines and Priorities": a flow has a static priority tier and may
+/// additionally be deadline-tagged.
+///
+/// The replay pipeline measures traffic *patterns*, so today the class
+/// shapes the workload (which flows are short, bursty, urgent) and rides
+/// along as metadata; deadline/priority-aware slack initialization
+/// consumes it when EDF-style experiments are wired end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowClass {
+    /// Static priority tier; lower is more urgent (0 = interactive).
+    pub prio: u8,
+    /// Completion deadline relative to `start`, for deadline-tagged
+    /// flows.
+    pub deadline: Option<Dur>,
+}
+
+impl FlowClass {
+    /// Background best-effort traffic — the tag every generator that
+    /// predates service classes emits.
+    pub const BEST_EFFORT: FlowClass = FlowClass {
+        prio: 7,
+        deadline: None,
+    };
+
+    /// An urgent flow that must complete within `deadline` of its start.
+    pub fn deadline_tagged(prio: u8, deadline: Dur) -> FlowClass {
+        FlowClass {
+            prio,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// True when the flow carries a completion deadline.
+    pub fn is_deadline_tagged(&self) -> bool {
+        self.deadline.is_some()
+    }
+}
+
+impl Default for FlowClass {
+    fn default() -> Self {
+        FlowClass::BEST_EFFORT
+    }
+}
+
 /// One flow to be injected.
 #[derive(Debug, Clone)]
 pub struct FlowSpec {
@@ -20,6 +66,8 @@ pub struct FlowSpec {
     pub pkts: u64,
     /// Arrival time at the source.
     pub start: Time,
+    /// Service class (priority tier + optional deadline).
+    pub class: FlowClass,
 }
 
 /// Parameters for Poisson workload generation.
@@ -130,6 +178,7 @@ pub fn poisson_workload(topo: &Topology, cfg: &PoissonConfig) -> Vec<FlowSpec> {
             dst,
             pkts,
             start,
+            class: FlowClass::BEST_EFFORT,
         })
         .collect()
 }
@@ -156,6 +205,7 @@ pub fn long_lived_flows(topo: &Topology, n: usize, jitter: Dur, seed: u64) -> Ve
                 dst: hosts[j],
                 pkts: u64::MAX / 2,
                 start: Time(rng.gen_range(jitter.as_ps().max(1))),
+                class: FlowClass::BEST_EFFORT,
             }
         })
         .collect()

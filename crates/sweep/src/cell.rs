@@ -3,7 +3,7 @@
 
 use crate::grid::{CellCoord, SimScale};
 use ups_core::replay::{record_original, replay_schedule, ReplayMode, ReplayReport};
-use ups_core::workload::default_udp_workload;
+use ups_core::workload::WorkloadKind;
 use ups_core::RecordedSchedule;
 
 /// Per-replicate measurements of one grid cell (the sweep analogue of
@@ -44,7 +44,7 @@ pub struct DistMetrics {
 
 /// The record-and-replay pipeline shared by the sweep engine and
 /// `ups-bench`'s `run_replay`: record `coord.sched`'s schedule on a
-/// fresh topology (default UDP workload, 1500-byte MTU), rebuild, and
+/// fresh topology (default web workload, 1500-byte MTU), rebuild, and
 /// replay under `mode`. Pure in its arguments — same inputs, same
 /// outputs — which is what lets the pool run cells in any order.
 pub fn record_and_replay(
@@ -53,8 +53,21 @@ pub fn record_and_replay(
     seed: u64,
     mode: ReplayMode,
 ) -> (ReplayReport, RecordedSchedule) {
+    record_and_replay_workload(coord, sim, seed, mode, WorkloadKind::Web)
+}
+
+/// [`record_and_replay`] generalized over the workload family — the
+/// pipeline the scenario registry runs, where a grid pairs its topology
+/// with incast or deadline-mix traffic instead of the default web flows.
+pub fn record_and_replay_workload(
+    coord: &CellCoord,
+    sim: &SimScale,
+    seed: u64,
+    mode: ReplayMode,
+    workload: WorkloadKind,
+) -> (ReplayReport, RecordedSchedule) {
     let mut orig_topo = coord.topo.build(sim);
-    let flows = default_udp_workload(&orig_topo, coord.util, sim.horizon, seed);
+    let flows = workload.build(&orig_topo, coord.util, sim.horizon, seed);
     let schedule = record_original(&mut orig_topo, &flows, coord.sched, seed, 1500);
     drop(orig_topo);
     let mut replay_topo = coord.topo.build(sim);
@@ -82,6 +95,19 @@ impl CellMetrics {
 /// LSTF, reduced to the cell's replayability metrics.
 pub fn run_cell(coord: &CellCoord, sim: &SimScale, seed: u64) -> CellMetrics {
     let (report, schedule) = record_and_replay(coord, sim, seed, ReplayMode::lstf());
+    CellMetrics::of(&report, &schedule)
+}
+
+/// [`run_cell`] with an explicit workload family — the job runner
+/// behind [`crate::scenario::Scenario::run`].
+pub fn run_cell_workload(
+    coord: &CellCoord,
+    sim: &SimScale,
+    seed: u64,
+    workload: WorkloadKind,
+) -> CellMetrics {
+    let (report, schedule) =
+        record_and_replay_workload(coord, sim, seed, ReplayMode::lstf(), workload);
     CellMetrics::of(&report, &schedule)
 }
 

@@ -29,10 +29,18 @@ pub struct SimScale {
 pub enum TopoKind {
     /// Internet2 with one of the paper's bandwidth variants.
     I2(I2Variant),
-    /// Synthetic RocketFuel (83 routers / 131 links).
+    /// Synthetic RocketFuel (83 routers / 131 links), sized by the
+    /// sweep's `SimScale` (half its `edges_per_core`, minimum 1).
     RocketFuel,
-    /// Full-bisection fat-tree datacenter.
+    /// Full-bisection fat-tree datacenter at the sweep's
+    /// `SimScale::fattree_k` arity.
     FatTree,
+    /// Fat-tree pinned to an explicit even arity, independent of the
+    /// scale knobs — how the scenario registry names k=8 exactly.
+    FatTreeK(usize),
+    /// RocketFuel at the paper's full scale (10 edge routers per core,
+    /// 830 hosts), independent of the scale knobs.
+    RocketFuelFull,
 }
 
 impl TopoKind {
@@ -42,6 +50,8 @@ impl TopoKind {
             TopoKind::I2(v) => v.label().to_string(),
             TopoKind::RocketFuel => "RocketFuel".to_string(),
             TopoKind::FatTree => "Datacenter".to_string(),
+            TopoKind::FatTreeK(k) => format!("Datacenter(k={k})"),
+            TopoKind::RocketFuelFull => "RocketFuel-full".to_string(),
         }
     }
 
@@ -70,6 +80,12 @@ impl TopoKind {
                 },
                 TraceLevel::Hops,
             ),
+            TopoKind::FatTreeK(k) => {
+                fattree::build(&fattree::FatTreeConfig::for_k(k), TraceLevel::Hops)
+            }
+            TopoKind::RocketFuelFull => {
+                rocketfuel::build(&rocketfuel::RocketFuelConfig::full(), TraceLevel::Hops)
+            }
         }
     }
 }

@@ -28,7 +28,11 @@
 //!   ([`Json::parse`]);
 //! * [`diff`](mod@diff) compares two artifacts structurally, keyed by
 //!   grid coordinate, under a configurable tolerance — the primitive
-//!   behind `sweep diff` and cross-run regression detection in CI.
+//!   behind `sweep diff` and cross-run regression detection in CI;
+//! * [`scenario`] is the registry of named experiment scenarios —
+//!   topology build × workload family × grid — behind
+//!   `sweep --grid <scenario>` and the `sweep scenarios` subcommand
+//!   (see `docs/SCENARIOS.md` for the catalogue).
 //!
 //! The `sweep` binary at the workspace root (`cargo run --release --bin
 //! sweep`) is the CLI; `ups-bench`'s `table1`, `all_experiments`, and
@@ -121,11 +125,16 @@ pub mod diff;
 pub mod engine;
 pub mod grid;
 pub mod pool;
+pub mod scenario;
 
 pub use artifact::Json;
-pub use cell::{record_and_replay, run_cell, CellMetrics, DistMetrics};
+pub use cell::{
+    record_and_replay, record_and_replay_workload, run_cell, run_cell_workload, CellMetrics,
+    DistMetrics,
+};
 pub use diff::{diff_artifacts, DiffOptions, DiffReport};
 pub use engine::{
     run_fig_with, run_sweep, run_sweep_with, DistResult, FigReport, Stat, SweepReport, SweepResult,
 };
 pub use grid::{CellCoord, FigAxis, FigJob, FigSpec, Job, SimScale, SweepSpec, TopoKind};
+pub use scenario::Scenario;

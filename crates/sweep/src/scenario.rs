@@ -1,0 +1,278 @@
+//! The scenario registry: named, declarative experiment scenarios.
+//!
+//! A [`Scenario`] bundles what §2.3 calls an evaluation setting — a
+//! topology build, a workload family, and a utilization × original-
+//! scheduler grid — into one registered, runnable entry. The registry
+//! ([`REGISTRY`]) is the single source of truth behind
+//! `sweep --grid <scenario>`, the `sweep scenarios` CLI subcommand, and
+//! `docs/SCENARIOS.md`; adding a scenario here is all it takes to make
+//! it runnable, listable, and sweepable with artifacts.
+//!
+//! Scenarios reuse the whole sweep stack: a scenario's grid expands to
+//! [`crate::Job`]s, runs on the deterministic worker pool, and lands as
+//! the same `"kind": "table"` JSON/CSV artifacts (byte-identical for
+//! every `--jobs N`) that `sweep diff` understands. The only new degree
+//! of freedom is the workload family ([`WorkloadKind`]), which the
+//! existing named grids fix to web traffic.
+//!
+//! ```
+//! use ups_sweep::scenario;
+//!
+//! let s = scenario::find("dc-k4-incast-sched").expect("registered");
+//! assert_eq!(s.workload, ups_core::WorkloadKind::Incast);
+//! assert_eq!(s.spec().cells.len(), 3); // three original schedulers
+//! assert!(scenario::names().contains(&"rocketfuel-full"));
+//! ```
+
+use crate::cell::run_cell_workload;
+use crate::engine::{run_sweep_with, SweepReport};
+use crate::grid::{SimScale, SweepSpec, TopoKind};
+use ups_core::WorkloadKind;
+use ups_sched::SchedKind;
+use ups_topo::internet2::I2Variant;
+
+/// A registered experiment scenario: topology + workload + grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Registry key and artifact file stem (kebab-case).
+    pub name: &'static str,
+    /// One-line summary for `scenarios list`.
+    pub title: &'static str,
+    /// What the scenario stresses and what to look for — the body of
+    /// `scenarios describe`.
+    pub detail: &'static str,
+    /// Topology under test.
+    pub topo: TopoKind,
+    /// Workload family every cell draws its flows from.
+    pub workload: WorkloadKind,
+    /// Original schedulers whose schedules LSTF replays (one grid
+    /// column each).
+    pub scheds: &'static [SchedKind],
+    /// Target utilizations (one grid column each).
+    pub utils: &'static [f64],
+}
+
+impl Scenario {
+    /// Expand into the sweep grid: `[topo] × scheds × utils`, named
+    /// after the scenario so artifacts land as `<name>.json`/`.csv`.
+    pub fn spec(&self) -> SweepSpec {
+        SweepSpec::cartesian(self.name, &[self.topo], self.scheds, self.utils)
+    }
+
+    /// Run the scenario's grid at `sim` scale on up to `jobs` workers.
+    /// Same engine, same guarantee: the report serializes byte-identical
+    /// for every `jobs` value.
+    pub fn run(&self, sim: &SimScale, jobs: usize) -> SweepReport {
+        self.run_spec(&self.spec(), sim, jobs)
+    }
+
+    /// [`Scenario::run`] with a caller-adjusted spec (replicates, base
+    /// seed) — the spec must come from [`Scenario::spec`].
+    pub fn run_spec(&self, spec: &SweepSpec, sim: &SimScale, jobs: usize) -> SweepReport {
+        let workload = self.workload;
+        run_sweep_with(spec, sim.label, jobs, move |job| {
+            run_cell_workload(&job.coord, sim, job.seed, workload)
+        })
+    }
+
+    /// Multi-line human description (for `scenarios describe`).
+    pub fn describe(&self) -> String {
+        let utils = self
+            .utils
+            .iter()
+            .map(|u| format!("{}%", (u * 100.0).round()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let scheds = self
+            .scheds
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{name} — {title}\n\
+             topology:  {topo}\n\
+             workload:  {workload}\n\
+             originals: {scheds}\n\
+             utils:     {utils}\n\
+             cells:     {cells}\n\n\
+             {detail}\n\n\
+             run:       cargo run --release --bin sweep -- --grid {name} --jobs 4\n\
+             artifacts: target/sweep/{name}.json, target/sweep/{name}.csv\n",
+            name = self.name,
+            title = self.title,
+            topo = self.topo.label(),
+            workload = self.workload.label(),
+            cells = self.scheds.len() * self.utils.len(),
+            detail = self.detail,
+        )
+    }
+}
+
+/// Every registered scenario, in presentation order.
+pub const REGISTRY: &[Scenario] = &[
+    Scenario {
+        name: "i2-web",
+        title: "Internet2 WAN under the paper's default web workload",
+        detail: "The default scenario of §2.3 as a registry entry: the \
+                 I2:1Gbps-10Gbps variant under Random originals across the \
+                 full utilization sweep. Expect the Table 1 rows 1-2 shape: \
+                 <1% of packets overdue beyond T even at 90% load.",
+        topo: TopoKind::I2(I2Variant::Default1g10g),
+        workload: WorkloadKind::Web,
+        scheds: &[SchedKind::Random],
+        utils: &[0.1, 0.3, 0.5, 0.7, 0.9],
+    },
+    Scenario {
+        name: "i2-deadline-mix",
+        title: "Internet2 with deadline-tagged urgent flows over web background",
+        detail: "A quarter of the offered load is short priority-0 flows \
+                 tagged with affine deadlines (1 ms + 50 us/pkt), the rest \
+                 heavy-tailed best effort — the traffic mix of the \
+                 deadline-scheduling literature. Replayability should hold: \
+                 the mix changes burst structure, not the slack argument.",
+        topo: TopoKind::I2(I2Variant::Default1g10g),
+        workload: WorkloadKind::DeadlineMix,
+        scheds: &[SchedKind::Random],
+        utils: &[0.3, 0.7],
+    },
+    Scenario {
+        name: "rocketfuel-full",
+        title: "Full-scale RocketFuel ISP map (830 hosts), web workload",
+        detail: "The paper's actual RocketFuel scenario: 83 core routers, \
+                 131 core links, 10 edge routers per core. Half the core is \
+                 slower than the access tier, so congestion points move \
+                 into the core. This is the largest WAN in the registry \
+                 (~2,500 nodes); quick-scale runs take tens of seconds.",
+        topo: TopoKind::RocketFuelFull,
+        workload: WorkloadKind::Web,
+        scheds: &[SchedKind::Random],
+        utils: &[0.3, 0.7],
+    },
+    Scenario {
+        name: "dc-k8-web",
+        title: "Fat-tree k=8 datacenter (128 hosts), web workload",
+        detail: "The paper-scale pFabric fat-tree: 16 core, 32 aggregation, \
+                 32 edge switches, 10 Gbps everywhere. Full bisection means \
+                 overdue fractions stay near zero until utilization gets \
+                 high; this grid is also the scale leg of the PR 4 \
+                 event-core claim (see crates/bench/benches/large_topo.rs).",
+        topo: TopoKind::FatTreeK(8),
+        workload: WorkloadKind::Web,
+        scheds: &[SchedKind::Random],
+        utils: &[0.3, 0.7],
+    },
+    Scenario {
+        name: "dc-k8-incast",
+        title: "Fat-tree k=8 under partition/aggregate incast fan-in",
+        detail: "16-way synchronized bursts collide on rotating receiver \
+                 downlinks — the congestion is at the last hop, not the \
+                 core, the opposite regime from the web grids. Utilization \
+                 calibrates the epoch rate against the receiver NIC.",
+        topo: TopoKind::FatTreeK(8),
+        workload: WorkloadKind::Incast,
+        scheds: &[SchedKind::Random],
+        utils: &[0.3, 0.7],
+    },
+    Scenario {
+        name: "dc-k4-incast-sched",
+        title: "Fat-tree k=4 incast across original schedulers (fast)",
+        detail: "The small datacenter under incast, replayed against FIFO, \
+                 SJF, and Random originals at 70% — the cheapest scenario \
+                 that exercises a non-web workload against multiple \
+                 originals; CI and the scenario_tour example run it.",
+        topo: TopoKind::FatTreeK(4),
+        workload: WorkloadKind::Incast,
+        scheds: &[SchedKind::Fifo, SchedKind::Sjf, SchedKind::Random],
+        utils: &[0.7],
+    },
+];
+
+/// Look up a scenario by registry name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// All registered names, in presentation order.
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// One line per scenario: `name  cells  topology / workload — title`.
+pub fn render_list() -> String {
+    let mut out = String::new();
+    for s in REGISTRY {
+        out.push_str(&format!(
+            "{:<20} {:>2} cells  {} / {} — {}\n",
+            s.name,
+            s.scheds.len() * s.utils.len(),
+            s.topo.label(),
+            s.workload.label(),
+            s.title,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_sim::Dur;
+
+    #[test]
+    fn names_are_unique_and_kebab_case() {
+        let names = names();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        for n in names {
+            assert!(
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "name `{n}` is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn every_scenario_expands_to_a_nonempty_grid() {
+        for s in REGISTRY {
+            let spec = s.spec();
+            assert_eq!(spec.name, s.name);
+            assert_eq!(spec.cells.len(), s.scheds.len() * s.utils.len());
+            assert!(!spec.cells.is_empty());
+            for c in &spec.cells {
+                assert!((0.0..1.0).contains(&c.util));
+                assert_eq!(c.topo, s.topo);
+            }
+        }
+    }
+
+    #[test]
+    fn find_and_list_agree_with_the_registry() {
+        assert!(find("dc-k8-web").is_some());
+        assert!(find("no-such-scenario").is_none());
+        let listing = render_list();
+        for s in REGISTRY {
+            assert!(listing.contains(s.name), "list missing {}", s.name);
+            assert!(s.describe().contains(s.name));
+        }
+    }
+
+    #[test]
+    fn cheap_scenario_runs_end_to_end() {
+        let s = find("dc-k4-incast-sched").unwrap();
+        let sim = SimScale {
+            edges_per_core: 2,
+            horizon: Dur::from_millis(2),
+            fattree_k: 4,
+            label: "tiny",
+        };
+        let report = s.run(&sim, 2);
+        assert_eq!(report.results.len(), 3);
+        for r in &report.results {
+            assert!(r.total.mean > 0.0, "cell replayed no packets");
+        }
+    }
+}

@@ -8,10 +8,25 @@
 //!   routers / 16 core links), with the paper's three bandwidth variants;
 //! * [`rocketfuel`] — a seeded synthetic stand-in for the RocketFuel ISP
 //!   map (83 core routers / 131 core links; the real trace files are not
-//!   redistributable — see DESIGN.md for the substitution argument);
+//!   redistributable — see DESIGN.md for the substitution argument).
+//!   `RocketFuelConfig::full()` is the paper's default scenario: 10 edge
+//!   routers per core, 830 hosts;
 //! * [`fattree`] — a k-ary full-bisection datacenter fat-tree as in
-//!   pFabric, 10 Gbps everywhere;
+//!   pFabric, 10 Gbps everywhere, valid for any even `k` (k=4 is the
+//!   test size, k=8 the paper-scale 128-host build);
 //! * [`simple`] — dumbbell / line / star fixtures for tests and examples.
+//!
+//! Every builder returns a validated [`Topology`]:
+//!
+//! ```
+//! use ups_net::TraceLevel;
+//! use ups_topo::fattree::{build, FatTreeConfig};
+//!
+//! let topo = build(&FatTreeConfig::for_k(4), TraceLevel::Off);
+//! assert_eq!(topo.hosts.len(), 16);
+//! assert_eq!(topo.core_links.len() + topo.access_links.len()
+//!     + topo.host_links.len(), topo.net.links.len());
+//! ```
 
 pub mod fattree;
 pub mod internet2;
@@ -71,9 +86,11 @@ impl Topology {
         }
     }
 
-    /// Sanity checks every builder runs before returning: all hosts are
-    /// mutually reachable and every link is classified exactly once.
+    /// Sanity checks every builder runs before returning: the topology
+    /// has hosts, all hosts are mutually reachable, and every link is
+    /// classified exactly once.
     pub fn validate(&self) {
+        assert!(!self.hosts.is_empty(), "topology has no hosts");
         let total = self.core_links.len() + self.access_links.len() + self.host_links.len();
         assert_eq!(total, self.net.links.len(), "links missing a tier");
         // Reachability spot check: first host can reach every other host.

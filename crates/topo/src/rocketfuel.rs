@@ -46,7 +46,49 @@ impl Default for RocketFuelConfig {
     }
 }
 
+impl RocketFuelConfig {
+    /// The paper's default scenario at full scale: 83 core routers, 131
+    /// core links, and **10** edge routers (each with a host) per core —
+    /// 830 hosts. This is what §2.3 actually evaluates; [`Default`]
+    /// keeps `edges_per_core: 2` so unit-test builds stay small.
+    ///
+    /// ```
+    /// use ups_topo::rocketfuel::RocketFuelConfig;
+    ///
+    /// let full = RocketFuelConfig::full();
+    /// assert_eq!(full.edges_per_core, 10);
+    /// assert_eq!(full.expected_hosts(), 830);
+    /// ```
+    pub fn full() -> RocketFuelConfig {
+        RocketFuelConfig {
+            edges_per_core: 10,
+            ..Default::default()
+        }
+    }
+
+    /// Hosts the build will produce: one per edge router,
+    /// `routers × edges_per_core`.
+    pub fn expected_hosts(&self) -> usize {
+        self.routers * self.edges_per_core
+    }
+
+    /// Unidirectional core links the build will produce (`links` duplex
+    /// pairs).
+    pub fn expected_core_links(&self) -> usize {
+        self.links * 2
+    }
+}
+
 /// Build the synthetic RocketFuel-like topology.
+///
+/// ```
+/// use ups_net::TraceLevel;
+/// use ups_topo::rocketfuel::{build, RocketFuelConfig};
+///
+/// let topo = build(&RocketFuelConfig::default(), TraceLevel::Off);
+/// assert_eq!(topo.core_links.len(), 131 * 2);
+/// assert_eq!(topo.hosts.len(), 83 * 2); // Default keeps 2 edges/core
+/// ```
 pub fn build(cfg: &RocketFuelConfig, level: TraceLevel) -> Topology {
     assert!(cfg.links >= cfg.routers - 1, "too few links for a tree");
     let mut rng = DetRng::new(cfg.seed);
@@ -151,6 +193,29 @@ mod tests {
         // Links are duplex pairs, alternating slow/fast: ~half slow.
         let frac = slow as f64 / t.core_links.len() as f64;
         assert!((frac - 0.5).abs() < 0.05, "slow fraction {frac}");
+    }
+
+    #[test]
+    fn full_scale_matches_the_paper_scenario() {
+        let cfg = RocketFuelConfig::full();
+        let t = build(&cfg, TraceLevel::Off);
+        assert_eq!(t.hosts.len(), 830); // 83 cores x 10 edges
+        assert_eq!(t.hosts.len(), cfg.expected_hosts());
+        assert_eq!(t.core_links.len(), cfg.expected_core_links());
+        assert_eq!(t.access_links.len(), 830 * 2);
+        assert_eq!(t.host_links.len(), 830 * 2);
+    }
+
+    #[test]
+    fn tier_bandwidths_are_ordered_slow_core_below_access_below_host() {
+        let t = build(&RocketFuelConfig::full(), TraceLevel::Off);
+        let bw = |l: &ups_net::LinkId| t.net.links[l.0 as usize].bw;
+        // The paper's property: half the core is *slower* than the
+        // 1 Gbps access tier, and hosts connect at 10 Gbps above both.
+        assert_eq!(t.bottleneck_core_bw(), Bandwidth::mbps(500));
+        assert!(t.access_links.iter().all(|l| bw(l) == Bandwidth::gbps(1)));
+        assert!(t.host_links.iter().all(|l| bw(l) == Bandwidth::gbps(10)));
+        assert!(t.core_links.iter().any(|l| bw(l) > Bandwidth::gbps(1)));
     }
 
     #[test]

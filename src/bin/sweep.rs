@@ -1,32 +1,40 @@
 //! `sweep` — the declarative, parallel experiment-sweep CLI.
 //!
-//! Expands a named grid (default: the paper's Table 1) into cells ×
-//! seed replicates, executes the jobs on a scoped-thread worker pool,
-//! prints per-cell mean ± stddev, and writes JSON + CSV artifacts under
-//! `target/sweep/` (override with `--out DIR`). The artifacts are
-//! byte-identical for every `--jobs` value.
+//! Expands a named grid (default: the paper's Table 1) or a registered
+//! scenario into cells × seed replicates, executes the jobs on a
+//! scoped-thread worker pool, prints per-cell mean ± stddev, and writes
+//! JSON + CSV artifacts under `target/sweep/` (override with `--out
+//! DIR`). The artifacts are byte-identical for every `--jobs` value.
 //!
-//! The `diff` subcommand compares two JSON artifacts (table or figure)
+//! The `scenarios` subcommand lists, describes, and runs the scenario
+//! registry (`ups_sweep::scenario` — topology × workload × grid; the
+//! catalogue is documented in `docs/SCENARIOS.md`). The `diff`
+//! subcommand compares two JSON artifacts (table or figure)
 //! structurally, keyed by grid coordinate, and exits nonzero when they
 //! diverge beyond the given tolerance — the cross-run regression check:
 //!
 //! ```sh
 //! cargo run --release --bin sweep -- --jobs 4 --replicates 3
-//! cargo run --release --bin sweep -- --grid smoke --jobs 2
+//! cargo run --release --bin sweep -- --grid dc-k8-incast --jobs 4
+//! cargo run --release --bin sweep -- scenarios list
+//! cargo run --release --bin sweep -- scenarios describe rocketfuel-full
+//! cargo run --release --bin sweep -- scenarios run dc-k4-incast-sched
 //! cargo run --release --bin sweep -- diff baseline.json target/sweep/table1.json
-//! cargo run --release --bin sweep -- diff old.json new.json --rel-tol 1e-6
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use ups_bench::Scale;
+use ups_sweep::scenario::{self, Scenario};
 use ups_sweep::{diff_artifacts, run_sweep, DiffOptions, SweepReport, SweepSpec};
 
-const GRIDS: &str = "table1 (default), smoke, util, sched, topo";
+const GRIDS: &str = "table1 (default), smoke, util, sched, topo, or any \
+                     registered scenario (see `sweep scenarios list`)";
 
 fn usage_exit(err: &str) -> ! {
     eprintln!(
         "error: {err}\n\
          usage: sweep [--grid NAME] [--out DIR] [scale flags]\n       \
+         sweep scenarios [list | describe NAME | run NAME [--out DIR] [scale flags]]\n       \
          sweep diff OLD.json NEW.json [--rel-tol X] [--abs-tol X]\n  \
          --grid NAME  grid to run: {GRIDS}\n  \
          --out DIR    artifact directory (default: target/sweep)\n  \
@@ -88,10 +96,96 @@ fn run_diff(args: &[String]) -> ! {
     std::process::exit(1);
 }
 
+/// `sweep scenarios [list | describe NAME | run NAME ...]`.
+fn run_scenarios(args: &[String]) -> ! {
+    match args.first().map(String::as_str) {
+        None | Some("list") => {
+            print!("{}", scenario::render_list());
+            println!("\nrun one:  sweep --grid <name>  (or: sweep scenarios run <name>)");
+            println!("details:  sweep scenarios describe <name>  ·  docs/SCENARIOS.md");
+            std::process::exit(0);
+        }
+        Some("describe") => {
+            let Some(name) = args.get(1) else {
+                usage_exit("scenarios describe takes a scenario name");
+            };
+            let Some(s) = scenario::find(name) else {
+                usage_exit(&format!(
+                    "unknown scenario `{name}` (see `sweep scenarios list`)"
+                ));
+            };
+            print!("{}", s.describe());
+            std::process::exit(0);
+        }
+        Some("run") => {
+            let Some(name) = args.get(1) else {
+                usage_exit("scenarios run takes a scenario name");
+            };
+            let Some(s) = scenario::find(name) else {
+                usage_exit(&format!(
+                    "unknown scenario `{name}` (see `sweep scenarios list`)"
+                ));
+            };
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let out = match ups_bench::scale::take_out_flag(&mut rest) {
+                Ok(out) => out,
+                Err(e) => usage_exit(&e),
+            };
+            let scale = match Scale::parse(&rest) {
+                Ok(sc) => sc,
+                Err(e) => usage_exit(&e),
+            };
+            run_scenario_grid(s, &scale, &out);
+        }
+        Some(other) => usage_exit(&format!(
+            "unknown scenarios action `{other}` (list, describe, run)"
+        )),
+    }
+}
+
+fn announce(spec: &SweepSpec, scale: &Scale) {
+    println!(
+        "sweep `{}`: {} cells x {} replicate(s) = {} jobs on {} worker(s), scale {}",
+        spec.name,
+        spec.cells.len(),
+        spec.replicates,
+        spec.cells.len() * spec.replicates,
+        scale.jobs,
+        scale.label
+    );
+}
+
+fn write_report(report: &SweepReport, out: &Path) -> ! {
+    print_report(report);
+    match report.write(out) {
+        Ok((json, csv)) => {
+            println!("\nwrote {} and {}", json.display(), csv.display());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: writing artifacts to {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_scenario_grid(s: &Scenario, scale: &Scale, out: &Path) -> ! {
+    let spec = s
+        .spec()
+        .with_seed(scale.seed)
+        .with_replicates(scale.replicates);
+    println!("scenario {}: {} [{}]", s.name, s.title, s.workload.label());
+    announce(&spec, scale);
+    let report = s.run_spec(&spec, &scale.sim(), scale.jobs);
+    write_report(&report, out);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("diff") {
-        run_diff(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("diff") => run_diff(&args[1..]),
+        Some("scenarios") => run_scenarios(&args[1..]),
+        _ => {}
     }
     // Split off the sweep-specific flags; everything else is scale.
     let mut grid = "table1".to_string();
@@ -121,29 +215,17 @@ fn main() {
         "util" => SweepSpec::util_grid(),
         "sched" => SweepSpec::sched_grid(),
         "topo" => SweepSpec::topo_grid(),
-        other => usage_exit(&format!("unknown grid `{other}` (choose from: {GRIDS})")),
+        other => match scenario::find(other) {
+            Some(s) => run_scenario_grid(s, &scale, &out),
+            None => usage_exit(&format!("unknown grid `{other}` (choose from: {GRIDS})")),
+        },
     }
     .with_seed(scale.seed)
     .with_replicates(scale.replicates);
 
-    println!(
-        "sweep `{}`: {} cells x {} replicate(s) = {} jobs on {} worker(s), scale {}",
-        spec.name,
-        spec.cells.len(),
-        spec.replicates,
-        spec.cells.len() * spec.replicates,
-        scale.jobs,
-        scale.label
-    );
+    announce(&spec, &scale);
     let report = run_sweep(&spec, &scale.sim(), scale.jobs);
-    print_report(&report);
-    match report.write(&out) {
-        Ok((json, csv)) => println!("\nwrote {} and {}", json.display(), csv.display()),
-        Err(e) => {
-            eprintln!("error: writing artifacts to {}: {e}", out.display());
-            std::process::exit(1);
-        }
-    }
+    write_report(&report, &out);
 }
 
 fn print_report(report: &SweepReport) {

@@ -20,17 +20,21 @@
 //! * [`core`] — the replay engine, slack-initialization heuristics,
 //!   omniscient UPS, and the appendix counterexamples;
 //! * [`sweep`] — the parallel, deterministic experiment-sweep engine
-//!   (scalar and distribution-payload grids, scoped-thread worker pool,
-//!   JSON/CSV artifacts, cross-run artifact diffing).
+//!   (scalar and distribution-payload grids, the scenario registry,
+//!   scoped-thread worker pool, JSON/CSV artifacts, cross-run artifact
+//!   diffing).
 //!
-//! Start with `examples/quickstart.rs`; the full experiment suite lives
-//! in `crates/bench` (one binary per table/figure of the paper — Table 1
+//! Start with `examples/quickstart.rs` (and `examples/scenario_tour.rs`
+//! for the scenario registry); the full experiment suite lives in
+//! `crates/bench` (one binary per table/figure of the paper — Table 1
 //! and Figures 1–4 run multi-seed through the sweep engine), and
-//! `cargo run --release --bin sweep` runs grid sweeps in parallel with
-//! structured artifacts under `target/sweep/` (`sweep diff` compares two
-//! artifacts for regressions). `docs/ARCHITECTURE.md` maps the workspace
-//! and its determinism invariants; `docs/EXPERIMENTS.md` is the
-//! reproduction guide.
+//! `cargo run --release --bin sweep` runs grid sweeps and registered
+//! scenarios in parallel with structured artifacts under
+//! `target/sweep/` (`sweep diff` compares two artifacts for
+//! regressions; `sweep scenarios list` prints the catalogue).
+//! `docs/ARCHITECTURE.md` maps the workspace and its determinism
+//! invariants; `docs/EXPERIMENTS.md` is the reproduction guide;
+//! `docs/SCENARIOS.md` documents every registered scenario.
 
 pub use ups_core as core;
 pub use ups_flowgen as flowgen;

@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "objectives",
     "replay_failure_anatomy",
     "theory_demo",
+    "scenario_tour",
 ];
 
 fn run_example(name: &str) -> std::process::Output {
