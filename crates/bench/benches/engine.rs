@@ -40,7 +40,13 @@ fn bench_forwarding(c: &mut Criterion) {
                 TraceLevel::Off,
             );
             let mut stamper = ups_transport::HeaderStamper::zero();
-            ups_transport::inject_udp_flows(&mut topo.net, &flows, 1500, &mut stamper);
+            ups_transport::inject_udp_flows(
+                &mut topo.net,
+                &std::sync::Arc::clone(&topo.routes),
+                &flows,
+                1500,
+                &mut stamper,
+            );
             topo.net.run_to_completion();
             black_box(topo.net.telemetry.counters.delivered)
         })

@@ -50,7 +50,8 @@ fn bench_forwarding(kind: WorkloadKind, name: &str, c: &mut Criterion) {
         b.iter(|| {
             let mut topo = k8(TraceLevel::Off);
             let mut stamper = ups_transport::HeaderStamper::zero();
-            ups_transport::inject_udp_flows(&mut topo.net, &flows, 1500, &mut stamper);
+            let routes = std::sync::Arc::clone(&topo.routes);
+            ups_transport::inject_udp_flows(&mut topo.net, &routes, &flows, 1500, &mut stamper);
             topo.net.run_to_completion();
             black_box(topo.net.telemetry.counters.delivered)
         })

@@ -32,6 +32,7 @@ fn main() {
             dst: t.hosts[4 + i as usize],
             pkts: u64::MAX / 2,
             start: Time::from_micros(i * 13),
+            deadline: None,
         })
         .collect();
     drop(t);

@@ -36,6 +36,7 @@
 //!         dst: topo.hosts[(i as usize + 1) % 4],
 //!         pkts: 10,
 //!         start: Time::ZERO,
+//!         deadline: None,
 //!     })
 //!     .collect();
 //! let (schedule, report) =

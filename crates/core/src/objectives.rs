@@ -120,9 +120,12 @@ pub fn run_fct(
     horizon: Time,
 ) -> Vec<FlowResult> {
     assert!(!flows.is_empty());
-    topo.net.set_all_buffers(Some(buffer));
     let kind = scheme.sched_kind();
-    topo.net.set_all_schedulers(|l| kind.build(l.id, 0));
+    topo.net.configure_links(|l| {
+        ups_net::LinkPolicy::keep()
+            .buffer(Some(buffer))
+            .scheduler(kind.build(l.id, 0))
+    });
     let results = install_tcp(&mut topo.net, flows, &TcpConfig::default(), || {
         scheme.stamper()
     });
@@ -140,11 +143,15 @@ pub fn run_tail_delays(
     mtu: u32,
     buffer: Option<u64>,
 ) -> Vec<f64> {
-    topo.net.set_all_buffers(buffer);
     let kind = scheme.sched_kind();
-    topo.net.set_all_schedulers(|l| kind.build(l.id, 0));
+    topo.net.configure_links(|l| {
+        ups_net::LinkPolicy::keep()
+            .buffer(buffer)
+            .scheduler(kind.build(l.id, 0))
+    });
     let mut stamper = scheme.stamper();
-    ups_transport::inject_udp_flows(&mut topo.net, flows, mtu, &mut stamper);
+    let routes = std::sync::Arc::clone(&topo.routes);
+    ups_transport::inject_udp_flows(&mut topo.net, &routes, flows, mtu, &mut stamper);
     topo.net.run_to_completion();
     assert!(
         topo.net.telemetry.level != TraceLevel::Off,
@@ -167,9 +174,12 @@ pub fn run_fairness(
     horizon: Time,
     buffer: Option<u64>,
 ) -> Vec<FairnessPoint> {
-    topo.net.set_all_buffers(buffer);
     let kind = scheme.sched_kind();
-    topo.net.set_all_schedulers(|l| kind.build(l.id, 0));
+    topo.net.configure_links(|l| {
+        ups_net::LinkPolicy::keep()
+            .buffer(buffer)
+            .scheduler(kind.build(l.id, 0))
+    });
     let _results = install_tcp(&mut topo.net, flows, &TcpConfig::default(), || {
         scheme.stamper()
     });
@@ -197,9 +207,12 @@ pub fn run_goodput(
     horizon: Time,
     buffer: Option<u64>,
 ) -> Vec<u64> {
-    topo.net.set_all_buffers(buffer);
     let kind = scheme.sched_kind();
-    topo.net.set_all_schedulers(|l| kind.build(l.id, 0));
+    topo.net.configure_links(|l| {
+        ups_net::LinkPolicy::keep()
+            .buffer(buffer)
+            .scheduler(kind.build(l.id, 0))
+    });
     let _results = install_tcp(&mut topo.net, flows, &TcpConfig::default(), || {
         scheme.stamper()
     });
@@ -243,6 +256,7 @@ mod tests {
                 dst: t.hosts[6 + i as usize],
                 pkts: if i < 2 { 15 } else { 600 },
                 start: Time::ZERO,
+                deadline: None,
             })
             .collect()
     }
@@ -296,6 +310,7 @@ mod tests {
                 dst: t.hosts[6 + (i as usize + 1) % 6],
                 pkts: 40,
                 start: Time::from_micros(i * 7),
+                deadline: None,
             })
             .collect();
         let fifo = run_tail_delays(topo(), &flows, &Scheme::Fifo, 1500, None);
@@ -322,6 +337,7 @@ mod tests {
                 dst: t.hosts[6 + i as usize],
                 pkts: u64::MAX / 2,
                 start: Time::from_micros(10 * i),
+                deadline: None,
             })
             .collect();
         let window = Dur::from_millis(1);

@@ -16,7 +16,7 @@
 use crate::omniscient::omniscient;
 use crate::schedule::RecordedSchedule;
 use std::sync::Arc;
-use ups_net::{PacketKind, SchedHeader, TraceLevel};
+use ups_net::{LinkPolicy, PacketKind, SchedHeader, TraceLevel};
 use ups_sched::{edf, lstf_with, priority, LstfKeyMode, SchedKind};
 use ups_sim::Dur;
 use ups_topo::Topology;
@@ -146,15 +146,19 @@ pub fn record_original(
         TraceLevel::Hops,
         "recording requires hop-level tracing"
     );
-    topo.net.set_all_buffers(None);
-    topo.net.set_all_schedulers(|l| original.build(l.id, seed));
+    topo.net.configure_links(|l| {
+        LinkPolicy::keep()
+            .buffer(None)
+            .scheduler(original.build(l.id, seed))
+    });
     let prio = if original.needs_priority_stamp() {
         PrioPolicy::FlowSize
     } else {
         PrioPolicy::None
     };
     let mut stamper = HeaderStamper::new(SlackPolicy::None, prio);
-    ups_transport::inject_udp_flows(&mut topo.net, flows, mtu, &mut stamper);
+    let routes = Arc::clone(&topo.routes);
+    ups_transport::inject_udp_flows(&mut topo.net, &routes, flows, mtu, &mut stamper);
     topo.net.run_to_completion();
     RecordedSchedule::from_telemetry(&topo.net.telemetry)
 }
@@ -175,16 +179,17 @@ pub fn replay_schedule(
         topo.net.telemetry.counters.injected, 0,
         "replay needs a fresh topology build"
     );
-    topo.net.set_all_buffers(None);
-    match mode {
-        ReplayMode::Lstf { preemptive, key } => {
-            topo.net.set_all_schedulers(|_| Box::new(lstf_with(key)));
-            topo.net.set_all_preemptive(preemptive);
+    topo.net.configure_links(|_| {
+        let base = LinkPolicy::keep().buffer(None);
+        match mode {
+            ReplayMode::Lstf { preemptive, key } => base
+                .scheduler(Box::new(lstf_with(key)))
+                .preemptive(preemptive),
+            ReplayMode::Priority => base.scheduler(Box::new(priority())),
+            ReplayMode::Edf => base.scheduler(Box::new(edf())),
+            ReplayMode::Omniscient => base.scheduler(Box::new(omniscient())),
         }
-        ReplayMode::Priority => topo.net.set_all_schedulers(|_| Box::new(priority())),
-        ReplayMode::Edf => topo.net.set_all_schedulers(|_| Box::new(edf())),
-        ReplayMode::Omniscient => topo.net.set_all_schedulers(|_| Box::new(omniscient())),
-    }
+    });
 
     // Inject the identical input with mode-specific headers.
     for rec in &schedule.packets {
@@ -305,6 +310,7 @@ mod tests {
                 dst: topo.hosts[0],
                 pkts,
                 start: Time::ZERO,
+                deadline: None,
             })
             .collect()
     }
@@ -380,6 +386,7 @@ mod tests {
                 dst: topo.hosts[4 + i as usize],
                 pkts: 20,
                 start: Time::from_micros(i * 3),
+                deadline: None,
             })
             .collect();
         let (schedule, report) = replay_experiment(
@@ -421,6 +428,7 @@ mod tests {
                 dst: topo.hosts[6 + (i as usize + 1) % 6],
                 pkts: 30,
                 start: Time::from_micros(i),
+                deadline: None,
             })
             .collect();
         let mut t1 = factory();

@@ -166,8 +166,10 @@ mod tests {
     fn run_line() -> RecordedSchedule {
         let mut topo = line(2, Bandwidth::gbps(1), Dur::from_micros(5), TraceLevel::Hops);
         let (h0, h1) = (topo.hosts[0], topo.hosts[1]);
+        let routes = std::sync::Arc::clone(&topo.routes);
         for s in 0..4 {
             topo.net.inject(
+                &routes,
                 Time::ZERO,
                 FlowId(0),
                 s,

@@ -60,8 +60,11 @@ pub fn build() -> (UnitNet, RecordedSchedule) {
 pub fn priority_replay(prios: [i64; 3]) -> ReplayReport {
     let (un, sched) = build();
     let mut topo = un.into_topology("fig6");
-    topo.net.set_all_buffers(None);
-    topo.net.set_all_schedulers(|_| Box::new(priority()));
+    topo.net.configure_links(|_| {
+        ups_net::LinkPolicy::keep()
+            .buffer(None)
+            .scheduler(Box::new(priority()))
+    });
     for (k, rec) in sched.packets.iter().enumerate() {
         topo.net.inject_on_path(
             rec.i,

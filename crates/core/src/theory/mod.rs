@@ -147,8 +147,14 @@ impl UnitNet {
     /// here).
     pub fn into_topology(self, name: &str) -> Topology {
         let links = self.net.link_ids();
+        let mut net = self.net;
+        // Theory packets travel explicit paths, but the Topology contract
+        // includes a frozen routing handle, and replay's reverse lookups
+        // expect one.
+        let routes = net.compute_routes();
         Topology {
-            net: self.net,
+            net,
+            routes,
             name: name.to_string(),
             hosts: Vec::new(),
             core_links: links,

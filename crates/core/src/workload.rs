@@ -16,6 +16,10 @@ pub fn to_flow_descs(specs: &[FlowSpec]) -> Vec<FlowDesc> {
             dst: f.dst,
             pkts: f.pkts,
             start: f.start,
+            // Deadline-tagged classes carry their deadline into the
+            // transport layer, where injection turns it into an initial
+            // header slack for EDF/LSTF.
+            deadline: f.class.deadline,
         })
         .collect()
 }

@@ -110,7 +110,7 @@ fn pair_paths_per_link(topo: &Topology) -> Vec<f64> {
                 continue;
             }
             let path = topo
-                .net
+                .routes
                 .resolve_path(s, d, FlowId((i * hosts.len() + j) as u64));
             for &l in path.links.iter() {
                 count[l.0 as usize] += 1.0;

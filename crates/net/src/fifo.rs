@@ -33,6 +33,14 @@ impl Scheduler for Fifo {
     fn len(&self) -> usize {
         self.q.len()
     }
+
+    fn uses_tmin(&self) -> bool {
+        false
+    }
+
+    fn is_fifo(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

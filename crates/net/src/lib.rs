@@ -16,6 +16,7 @@ pub mod link;
 pub mod network;
 pub mod node;
 pub mod packet;
+pub mod routing;
 pub mod scheduler;
 pub mod slab;
 pub mod testutil;
@@ -23,9 +24,10 @@ pub mod trace;
 
 pub use fifo::Fifo;
 pub use link::{Link, LinkStats, PortActions};
-pub use network::{App, Network};
+pub use network::{App, LinkPolicy, Network};
 pub use node::{NextHop, Node, NodeKind};
 pub use packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketKind, Path, SchedHeader};
+pub use routing::RoutingTable;
 pub use scheduler::{EvictOutcome, Queued, Scheduler};
 pub use slab::{PacketRef, PacketSlab};
 pub use trace::{Counters, HopTimes, PacketRecord, Telemetry, TraceLevel};

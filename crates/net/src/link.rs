@@ -59,9 +59,79 @@ pub struct PortActions {
     /// The port is idle and has queued packets: schedule a `StartTx`.
     pub want_start: bool,
     /// Packets dropped by the buffer-overflow policy.
-    pub dropped: Vec<Packet>,
+    pub dropped: Vec<Box<Packet>>,
     /// Packet whose transmission was fully completed (forward it).
-    pub completed: Option<Packet>,
+    pub completed: Option<Box<Packet>>,
+    /// `(tx_end, generation)` of a transmission the port started inline
+    /// on the wire fast path — the caller schedules its completion
+    /// exactly as it would for [`Link::try_start`]'s return.
+    pub started: Option<(Time, u64)>,
+}
+
+/// Dispatch slot for the port's scheduler. The default drop-tail FIFO
+/// gets a concrete arm so the ~5 scheduler calls per forwarded packet
+/// (admit, start, and the idle checks around them) inline down to
+/// `VecDeque` operations; any installed scheduler goes through the
+/// vtable as before. [`Link::set_scheduler`] routes an incoming box
+/// into the right arm via [`Scheduler::is_fifo`].
+#[derive(Debug)]
+enum SchedSlot {
+    Fifo(crate::fifo::Fifo),
+    Dyn(Box<dyn Scheduler>),
+}
+
+impl SchedSlot {
+    #[inline]
+    fn enqueue(&mut self, q: Queued) {
+        match self {
+            SchedSlot::Fifo(f) => f.enqueue(q),
+            SchedSlot::Dyn(s) => s.enqueue(q),
+        }
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> Option<Queued> {
+        match self {
+            SchedSlot::Fifo(f) => f.dequeue(),
+            SchedSlot::Dyn(s) => s.dequeue(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            SchedSlot::Fifo(f) => f.len(),
+            SchedSlot::Dyn(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn evict_for(&mut self, incoming: &Queued) -> crate::scheduler::EvictOutcome {
+        match self {
+            SchedSlot::Fifo(f) => f.evict_for(incoming),
+            SchedSlot::Dyn(s) => s.evict_for(incoming),
+        }
+    }
+
+    #[inline]
+    fn urgency(&self, q: &Queued) -> Option<i64> {
+        match self {
+            SchedSlot::Fifo(f) => f.urgency(q),
+            SchedSlot::Dyn(s) => s.urgency(q),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            SchedSlot::Fifo(f) => f.name(),
+            SchedSlot::Dyn(s) => s.name(),
+        }
+    }
 }
 
 /// A unidirectional link: `from`'s output port plus the wire to `to`.
@@ -82,13 +152,24 @@ pub struct Link {
     pub buffer: Option<u64>,
     /// Whether an urgent arrival may suspend the in-flight transmission.
     pub preemptive: bool,
-    sched: Box<dyn Scheduler>,
+    sched: SchedSlot,
+    /// Cached [`Scheduler::uses_tmin`] so the per-admit fast path skips
+    /// both the virtual call and the remaining-path walk.
+    sched_uses_tmin: bool,
+    /// One-entry serialization-time memo: `(size, tx_time(size))`. Real
+    /// workloads transmit runs of equal-size packets, so this turns the
+    /// per-admit and per-start 128-bit division into a compare.
+    tx_memo: (u32, Dur),
     queued_bytes: u64,
     arrival_seq: u64,
     inflight: Option<InFlight>,
     /// Generation counter; a stored `TxDone` event is valid only if its
     /// generation matches (preemption invalidates scheduled completions).
     tx_gen: u64,
+    /// A `StartTx` event for this link is already scheduled at the
+    /// current instant — the network uses this to keep at most one
+    /// pending start decision per link.
+    pub(crate) start_pending: bool,
     /// Counters.
     pub stats: LinkStats,
 }
@@ -104,11 +185,14 @@ impl Link {
             prop,
             buffer: None,
             preemptive: false,
-            sched: Box::new(crate::fifo::Fifo::new()),
+            sched: SchedSlot::Fifo(crate::fifo::Fifo::new()),
+            sched_uses_tmin: false,
+            tx_memo: (0, Dur::ZERO),
             queued_bytes: 0,
             arrival_seq: 0,
             inflight: None,
             tx_gen: 0,
+            start_pending: false,
             stats: LinkStats::default(),
         }
     }
@@ -120,7 +204,21 @@ impl Link {
             self.sched.is_empty() && self.inflight.is_none(),
             "cannot swap scheduler on a busy link"
         );
-        self.sched = sched;
+        self.sched_uses_tmin = sched.uses_tmin();
+        self.sched = if sched.is_fifo() && sched.is_empty() {
+            SchedSlot::Fifo(crate::fifo::Fifo::new())
+        } else {
+            SchedSlot::Dyn(sched)
+        };
+    }
+
+    /// `tx_time` through the one-entry per-link memo.
+    #[inline]
+    fn tx_time_memo(&mut self, size: u32) -> Dur {
+        if self.tx_memo.0 != size {
+            self.tx_memo = (size, self.bw.tx_time(size));
+        }
+        self.tx_memo.1
     }
 
     /// Name of the installed scheduler.
@@ -146,10 +244,116 @@ impl Link {
     /// A packet has fully arrived at this port and wants to be queued.
     ///
     /// Handles buffer admission (consulting the scheduler for a victim),
-    /// starts transmission if the port is idle, and preempts the in-flight
-    /// packet if this port is preemptive and the arrival is more urgent.
-    pub fn admit(&mut self, mut pkt: Packet, now: Time) -> PortActions {
+    /// requests a transmission start if the port is idle, and preempts the
+    /// in-flight packet if this port is preemptive and the arrival is more
+    /// urgent.
+    pub fn admit(&mut self, pkt: Box<Packet>, now: Time) -> PortActions {
         let mut act = PortActions::default();
+        self.admit_one(pkt, now, &mut act);
+        act.want_start = self.inflight.is_none() && !self.sched.is_empty();
+        act
+    }
+
+    /// Admit a same-instant run of packets as one batch (the network's
+    /// batched drain hands over every consecutive arrival bound for this
+    /// port). Packets are admitted in order with identical per-packet
+    /// semantics to [`Link::admit`]; the single merged [`PortActions`]
+    /// carries all drops (in admission order) and one start request.
+    ///
+    /// With `inline` set, the caller guarantees this run is the port's
+    /// *complete* same-instant arrival group and that the start decision
+    /// is taken right now rather than through a deferred `StartTx`. Under
+    /// that guarantee a packet reaching an idle, empty, non-preemptive
+    /// port goes straight to the wire: the scheduler cannot be asked to
+    /// reorder a queue of one, so the enqueue/dequeue round trip (and its
+    /// zero-wait slack bookkeeping) is skipped and the completion is
+    /// returned in [`PortActions::started`].
+    pub fn admit_batch(
+        &mut self,
+        pkts: &mut Vec<Box<Packet>>,
+        now: Time,
+        inline: bool,
+    ) -> PortActions {
+        let mut act = PortActions::default();
+        let mut drain = pkts.drain(..);
+        if inline {
+            if let Some(pkt) = drain.next() {
+                if let Some(pkt) = self.wire_fast_path(pkt, now, &mut act) {
+                    self.admit_one(pkt, now, &mut act);
+                }
+            }
+        }
+        for pkt in drain {
+            self.admit_one(pkt, now, &mut act);
+        }
+        act.want_start = self.inflight.is_none() && !self.sched.is_empty();
+        act
+    }
+
+    /// Admit one packet outside any batch (the singleton case of
+    /// [`Link::admit_batch`], without the drain machinery).
+    pub fn admit_single(&mut self, pkt: Box<Packet>, now: Time, inline: bool) -> PortActions {
+        let mut act = PortActions::default();
+        let pkt = if inline {
+            self.wire_fast_path(pkt, now, &mut act)
+        } else {
+            Some(pkt)
+        };
+        if let Some(pkt) = pkt {
+            self.admit_one(pkt, now, &mut act);
+        }
+        act.want_start = self.inflight.is_none() && !self.sched.is_empty();
+        act
+    }
+
+    /// The wire fast path behind `inline` admission (see
+    /// [`Link::admit_batch`]): a packet reaching an idle, empty,
+    /// non-preemptive FIFO port with room goes straight to the wire,
+    /// skipping the scheduler round trip. Returns the packet back when
+    /// the port does not qualify.
+    ///
+    /// Only the devirtualized drop-tail FIFO qualifies: for it,
+    /// enqueue-then-immediate-dequeue of the only packet is provably a
+    /// no-op. A boxed scheduler may mutate state on *every* dequeue even
+    /// with one packet queued — `Random` consumes an RNG draw, DRR moves
+    /// its deficit round — so skipping the round trip would change its
+    /// later decisions.
+    #[inline]
+    fn wire_fast_path(
+        &mut self,
+        mut pkt: Box<Packet>,
+        now: Time,
+        act: &mut PortActions,
+    ) -> Option<Box<Packet>> {
+        if !matches!(self.sched, SchedSlot::Fifo(_))
+            || self.inflight.is_some()
+            || !self.sched.is_empty()
+            || self.preemptive
+            || self.buffer.is_some_and(|cap| (pkt.size as u64) > cap)
+        {
+            return Some(pkt);
+        }
+        pkt.tx_left = None;
+        let mut q = self.make_queued(pkt, now);
+        self.stats.enqueued += 1;
+        self.stats.max_queue_pkts = self.stats.max_queue_pkts.max(1);
+        q.pkt.hop_first_tx = now;
+        let tx_end = now + q.tx_dur;
+        self.tx_gen += 1;
+        self.inflight = Some(InFlight {
+            q,
+            tx_start: now,
+            tx_end,
+            urgency: None,
+        });
+        act.started = Some((tx_end, self.tx_gen));
+        None
+    }
+
+    /// Admission core shared by [`Link::admit`] and [`Link::admit_batch`]:
+    /// everything except the start-request decision, which depends on the
+    /// port state after the whole batch.
+    fn admit_one(&mut self, mut pkt: Box<Packet>, now: Time, act: &mut PortActions) {
         pkt.tx_left = None;
         let q = self.make_queued(pkt, now);
 
@@ -164,7 +368,7 @@ impl Link {
                 if self.sched.is_empty() {
                     self.stats.dropped += 1;
                     act.dropped.push(q.pkt);
-                    return act;
+                    return;
                 }
                 match self.sched.evict_for(&q) {
                     EvictOutcome::Evicted(victim) => {
@@ -175,7 +379,7 @@ impl Link {
                     EvictOutcome::DropIncoming => {
                         self.stats.dropped += 1;
                         act.dropped.push(q.pkt);
-                        return act;
+                        return;
                     }
                 }
             }
@@ -203,8 +407,6 @@ impl Link {
 
         self.sched.enqueue(q);
         self.stats.max_queue_pkts = self.stats.max_queue_pkts.max(self.sched.len());
-        act.want_start = self.inflight.is_none();
-        act
     }
 
     /// The `TxDone` event for generation `gen` fired. Returns the completed
@@ -227,6 +429,24 @@ impl Link {
         pkt.advance_hop();
         act.completed = Some(pkt);
         act.want_start = !self.sched.is_empty();
+        act
+    }
+
+    /// Process a same-instant run of `TxDone` events for this link as one
+    /// batch. At most one generation can match (each transmission posts
+    /// exactly one completion); the rest are stale completions from
+    /// preempted transmissions and are skipped without a call.
+    pub fn tx_done_batch(&mut self, gens: &[u64], now: Time) -> PortActions {
+        let mut act = PortActions::default();
+        for &gen in gens {
+            if gen != self.tx_gen {
+                continue; // stale completion from a preempted transmission
+            }
+            let a = self.tx_done(gen, now);
+            debug_assert!(act.completed.is_none(), "two live completions in one batch");
+            act.completed = a.completed;
+            act.want_start = a.want_start;
+        }
         act
     }
 
@@ -260,10 +480,16 @@ impl Link {
                 // Fresh (non-resumed) transmission: this is the paper's
                 // per-hop scheduling time o(p, α).
                 q.pkt.hop_first_tx = now;
-                self.bw.tx_time(q.pkt.size)
+                self.tx_time_memo(q.pkt.size)
             }
         };
-        let urgency = self.sched.urgency(&q);
+        // Urgency only ever feeds the preemption comparison, so on
+        // non-preemptive ports (the default) the call is skipped.
+        let urgency = if self.preemptive {
+            self.sched.urgency(&q)
+        } else {
+            None
+        };
         let tx_end = now + tx_dur;
         self.tx_gen += 1;
         self.inflight = Some(InFlight {
@@ -302,9 +528,16 @@ impl Link {
 
     /// Wrap a packet in its queue entry, computing the static per-hop
     /// quantities schedulers may key on.
-    fn make_queued(&mut self, pkt: Packet, now: Time) -> Queued {
-        let tx_dur = pkt.tx_left.unwrap_or_else(|| self.bw.tx_time(pkt.size));
-        let remaining_tmin = pkt.remaining_tmin();
+    fn make_queued(&mut self, pkt: Box<Packet>, now: Time) -> Queued {
+        let tx_dur = match pkt.tx_left {
+            Some(left) => left,
+            None => self.tx_time_memo(pkt.size),
+        };
+        let remaining_tmin = if self.sched_uses_tmin {
+            pkt.remaining_tmin()
+        } else {
+            Dur::ZERO
+        };
         let seq = self.arrival_seq;
         self.arrival_seq += 1;
         Queued {
@@ -313,6 +546,18 @@ impl Link {
             tx_dur,
             remaining_tmin,
             arrival_seq: seq,
+        }
+    }
+
+    /// Cache-warm what a `TxDone` for this link is about to touch: the
+    /// in-flight packet, last accessed a full transmission time (often
+    /// thousands of events) ago. Issued by the event loop for the *next*
+    /// pending event while the current one is processed.
+    #[inline]
+    pub(crate) fn prefetch_inflight(&self) {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(fl) = &self.inflight {
+            crate::packet::prefetch_packet(&fl.q.pkt);
         }
     }
 
@@ -339,6 +584,10 @@ mod tests {
             Bandwidth::gbps(1),
             Dur::from_micros(5),
         )
+    }
+
+    fn box_pkt(id: u64, size: u32) -> Box<Packet> {
+        Box::new(mk_pkt(id, size))
     }
 
     fn mk_pkt(id: u64, size: u32) -> Packet {
@@ -369,7 +618,7 @@ mod tests {
     #[test]
     fn admit_requests_start_on_idle_port() {
         let mut l = mk_link();
-        let act = l.admit(mk_pkt(0, 1500), Time::ZERO);
+        let act = l.admit(box_pkt(0, 1500), Time::ZERO);
         assert!(act.want_start, "idle port must request a start");
         assert!(!l.is_busy());
         let (end, gen) = l.try_start(Time::ZERO).expect("start");
@@ -386,8 +635,8 @@ mod tests {
     #[test]
     fn redundant_start_requests_are_noops() {
         let mut l = mk_link();
-        l.admit(mk_pkt(0, 1500), Time::ZERO);
-        l.admit(mk_pkt(1, 1500), Time::ZERO);
+        l.admit(box_pkt(0, 1500), Time::ZERO);
+        l.admit(box_pkt(1, 1500), Time::ZERO);
         assert!(l.try_start(Time::ZERO).is_some());
         // Busy port: second deferred start does nothing.
         assert!(l.try_start(Time::ZERO).is_none());
@@ -399,9 +648,9 @@ mod tests {
     #[test]
     fn busy_port_queues_and_chains() {
         let mut l = mk_link();
-        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        l.admit(box_pkt(0, 1500), Time::ZERO);
         let (end0, gen0) = l.try_start(Time::ZERO).unwrap();
-        let b = l.admit(mk_pkt(1, 1500), Time::from_micros(1));
+        let b = l.admit(box_pkt(1, 1500), Time::from_micros(1));
         assert!(!b.want_start, "busy port must not request a start");
         assert_eq!(l.queue_len(), 1);
 
@@ -414,9 +663,9 @@ mod tests {
     #[test]
     fn wait_is_charged_to_slack_and_qdelay() {
         let mut l = mk_link();
-        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        l.admit(box_pkt(0, 1500), Time::ZERO);
         let (end0, gen0) = l.try_start(Time::ZERO).unwrap();
-        l.admit(mk_pkt(1, 1500), Time::from_micros(2));
+        l.admit(box_pkt(1, 1500), Time::from_micros(2));
         l.tx_done(gen0, end0);
         // Second packet waited from 2us until 12us = 10us.
         let (end1, gen1) = l.try_start(end0).unwrap();
@@ -428,7 +677,7 @@ mod tests {
     #[test]
     fn first_packet_has_zero_wait() {
         let mut l = mk_link();
-        l.admit(mk_pkt(0, 1500), Time::from_micros(7));
+        l.admit(box_pkt(0, 1500), Time::from_micros(7));
         let (end, gen) = l.try_start(Time::from_micros(7)).unwrap();
         let p = l.tx_done(gen, end).completed.unwrap();
         assert_eq!(p.qdelay, Dur::ZERO);
@@ -468,13 +717,13 @@ mod tests {
 
         let mut lazy = mk_pkt(0, 1500);
         lazy.hdr.slack = 1_000_000_000; // plenty of slack: preemptible
-        l.admit(lazy, Time::ZERO);
+        l.admit(Box::new(lazy), Time::ZERO);
         l.try_start(Time::ZERO).unwrap(); // in flight, queue empty
         assert_eq!(l.stats.max_queue_pkts, 1);
 
         let mut urgent = mk_pkt(1, 1500);
         urgent.hdr.slack = -1; // more urgent than the in-flight packet
-        l.admit(urgent, Time::from_micros(1));
+        l.admit(Box::new(urgent), Time::from_micros(1));
         assert_eq!(l.stats.preemptions, 1, "urgent arrival must preempt");
         // Both the re-queued (suspended) packet and the arrival are in
         // the queue now; the high-water mark must count them both.
@@ -489,7 +738,7 @@ mod tests {
     fn oversized_arrival_on_empty_queue_is_dropped_not_looped() {
         let mut l = mk_link();
         l.buffer = Some(1000); // smaller than one 1500 B packet
-        let act = l.admit(mk_pkt(0, 1500), Time::ZERO);
+        let act = l.admit(box_pkt(0, 1500), Time::ZERO);
         assert_eq!(act.dropped.len(), 1);
         assert_eq!(act.dropped[0].id, PacketId(0));
         assert!(!act.want_start, "nothing admitted, nothing to start");
@@ -502,13 +751,13 @@ mod tests {
     fn drop_tail_on_overflow() {
         let mut l = mk_link();
         l.buffer = Some(3000); // room for two 1500B packets in queue
-        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        l.admit(box_pkt(0, 1500), Time::ZERO);
         l.try_start(Time::ZERO).unwrap(); // packet 0 goes in flight
                                           // Two fit in the buffer while one transmits...
-        assert!(l.admit(mk_pkt(1, 1500), Time::ZERO).dropped.is_empty());
-        assert!(l.admit(mk_pkt(2, 1500), Time::ZERO).dropped.is_empty());
+        assert!(l.admit(box_pkt(1, 1500), Time::ZERO).dropped.is_empty());
+        assert!(l.admit(box_pkt(2, 1500), Time::ZERO).dropped.is_empty());
         // ...the fourth overflows and FIFO drops the arrival.
-        let act = l.admit(mk_pkt(3, 1500), Time::ZERO);
+        let act = l.admit(box_pkt(3, 1500), Time::ZERO);
         assert_eq!(act.dropped.len(), 1);
         assert_eq!(act.dropped[0].id, PacketId(3));
         assert_eq!(l.stats.dropped, 1);
@@ -517,7 +766,7 @@ mod tests {
     #[test]
     fn stale_tx_done_is_ignored() {
         let mut l = mk_link();
-        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        l.admit(box_pkt(0, 1500), Time::ZERO);
         let (_end, gen) = l.try_start(Time::ZERO).unwrap();
         let stale = l.tx_done(gen + 17, Time::from_micros(1));
         assert!(stale.completed.is_none());
@@ -533,7 +782,7 @@ mod tests {
             Bandwidth::INFINITE,
             Dur::ZERO,
         );
-        l.admit(mk_pkt(0, 1500), Time::from_micros(3));
+        l.admit(box_pkt(0, 1500), Time::from_micros(3));
         let (end, gen) = l.try_start(Time::from_micros(3)).unwrap();
         assert_eq!(
             end,
@@ -547,7 +796,7 @@ mod tests {
     #[test]
     fn utilization_tracks_busy_time() {
         let mut l = mk_link();
-        l.admit(mk_pkt(0, 1500), Time::ZERO);
+        l.admit(box_pkt(0, 1500), Time::ZERO);
         let (end, gen) = l.try_start(Time::ZERO).unwrap();
         l.tx_done(gen, end);
         // Busy 12us out of 24us elapsed = 50%.

@@ -15,10 +15,40 @@
 //! Applications ([`App`]) attach to host nodes and may inject packets and
 //! set timers; the replay experiments instead pre-schedule open-loop UDP
 //! injections directly.
+//!
+//! # Hot-path batching
+//!
+//! Two hot-path optimizations are provably order-identical to the naive
+//! one-event-at-a-time loop and are on by default:
+//!
+//! * **Batched same-instant drain.** When the event wheel's current slot
+//!   holds a run of same-instant events for the same link — arrivals
+//!   fanning into one output port, or transmission completions —
+//!   [`Network::step`] drains the run as one batch
+//!   ([`Link::admit_batch`] / [`Link::tx_done_batch`]), paying the event
+//!   dispatch and scheduler virtual-call overhead once per run instead of
+//!   once per packet. Batch members are processed in exactly their pop
+//!   order, and admitting a packet never touches the event queue, so the
+//!   sequence of link-state mutations is identical to single stepping
+//!   (the batch proptest cross-checks this). [`Network::set_batched_drain`]
+//!   selects the reference single-event mode.
+//! * **`StartTx` elision.** At most one `StartTx` is kept pending per
+//!   link (a per-link flag dedups the redundant requests that same-instant
+//!   arrivals used to push), and on networks where every link has finite
+//!   bandwidth and positive propagation delay, a completion whose queue
+//!   is non-empty starts the next transmission inline rather than through
+//!   a deferred event. Inline starts are safe exactly then: all
+//!   same-instant arrivals pop (class 0) before any completion (class 2),
+//!   and with positive delays no *new* same-instant arrival can be
+//!   created once completions are being processed — so the scheduler
+//!   state seen inline equals what the deferred `StartTx` would have
+//!   seen. Networks with infinite-bandwidth or zero-delay "theory" links
+//!   keep full deferral automatically.
 
 use crate::link::Link;
 use crate::node::{NextHop, Node, NodeKind};
 use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketKind, Path, SchedHeader};
+use crate::routing::RoutingTable;
 use crate::scheduler::Scheduler;
 use crate::slab::{PacketRef, PacketSlab};
 use crate::trace::{HopTimes, Telemetry, TraceLevel};
@@ -71,6 +101,56 @@ pub trait App: std::fmt::Debug + Send {
     fn on_timer(&mut self, net: &mut Network, node: NodeId, id: u64);
 }
 
+/// Declarative per-link configuration, applied through
+/// [`Network::configure_links`]. Every field defaults to "keep the
+/// link's current setting"; builder methods opt individual knobs in.
+///
+/// This replaces the former mutator sprawl (`set_scheduler`,
+/// `set_all_schedulers`, `set_all_buffers`, `set_all_preemptive`) with
+/// one composable value, so an experiment states its whole port policy in
+/// a single closure:
+///
+/// ```ignore
+/// net.configure_links(|l| {
+///     LinkPolicy::keep()
+///         .scheduler(make_sched(l.id))
+///         .buffer(None)
+///         .preemptive(true)
+/// });
+/// ```
+#[derive(Debug, Default)]
+pub struct LinkPolicy {
+    scheduler: Option<Box<dyn Scheduler>>,
+    buffer: Option<Option<u64>>,
+    preemptive: Option<bool>,
+}
+
+impl LinkPolicy {
+    /// A policy that changes nothing (the identity element).
+    pub fn keep() -> LinkPolicy {
+        LinkPolicy::default()
+    }
+
+    /// Install this scheduler (panics later if the link is busy, as
+    /// [`Link::set_scheduler`] does).
+    pub fn scheduler(mut self, sched: Box<dyn Scheduler>) -> LinkPolicy {
+        self.scheduler = Some(sched);
+        self
+    }
+
+    /// Set the buffer capacity in bytes; `None` = unbounded.
+    pub fn buffer(mut self, bytes: Option<u64>) -> LinkPolicy {
+        self.buffer = Some(bytes);
+        self
+    }
+
+    /// Enable or disable preemptive transmission.
+    pub fn preemptive(mut self, on: bool) -> LinkPolicy {
+        self.preemptive = Some(on);
+        self
+    }
+}
+
 /// The simulated network.
 #[derive(Debug)]
 pub struct Network {
@@ -84,8 +164,32 @@ pub struct Network {
     /// Arena for packets travelling between events (see [`PacketSlab`]).
     slab: PacketSlab,
     apps: Vec<Option<Box<dyn App>>>,
+    /// Number of attached applications. Zero means no callback can
+    /// inject packets or arm timers mid-instant, which is one of the
+    /// preconditions for starting transmissions inline from an arrival
+    /// batch (see the module docs).
+    napps: usize,
     next_pkt_id: u64,
-    routes_ready: bool,
+    /// Frozen forwarding state; `Some` once `compute_routes` has run.
+    routing: Option<Arc<RoutingTable>>,
+    /// Every link so far has finite bandwidth and positive propagation
+    /// delay — the precondition for starting a queued transmission inline
+    /// from a completion instead of deferring through a `StartTx` event.
+    eager_ok: bool,
+    /// Batched same-instant drain (default). Off = reference mode: one
+    /// event per [`Network::step`], for equivalence tests.
+    batch: bool,
+    /// Scratch for the arrivals of one same-instant batch.
+    arrive_scratch: Vec<(NodeId, PacketRef)>,
+    /// Scratch for one same-link run of packets handed to `admit_batch`.
+    /// Packets live their whole life as `Box<Packet>` (slab slots, link
+    /// queues), so the run must carry the boxes, not unboxed copies.
+    #[allow(clippy::vec_box)]
+    run_scratch: Vec<Box<Packet>>,
+    /// Scratch for one same-link run of `TxDone` generations.
+    gen_scratch: Vec<u64>,
+    /// Scratch marking arrivals already claimed by an earlier run.
+    used_scratch: Vec<bool>,
 }
 
 impl Network {
@@ -98,8 +202,15 @@ impl Network {
             queue: EventQueue::new(),
             slab: PacketSlab::new(),
             apps: Vec::new(),
+            napps: 0,
             next_pkt_id: 0,
-            routes_ready: false,
+            routing: None,
+            eager_ok: true,
+            batch: true,
+            arrive_scratch: Vec::new(),
+            run_scratch: Vec::new(),
+            gen_scratch: Vec::new(),
+            used_scratch: Vec::new(),
         }
     }
 
@@ -112,7 +223,7 @@ impl Network {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(id, name.into(), kind));
         self.apps.push(None);
-        self.routes_ready = false;
+        self.routing = None;
         id
     }
 
@@ -132,7 +243,13 @@ impl Network {
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link::new(id, from, to, bw, prop));
         self.nodes[from.0 as usize].out_links.push(id);
-        self.routes_ready = false;
+        self.routing = None;
+        // "Theory" links (instant serialization or zero-delay wires) can
+        // cascade new same-instant arrivals while completions are being
+        // processed, so they force fully deferred transmission starts.
+        if bw == Bandwidth::INFINITE || prop == Dur::ZERO {
+            self.eager_ok = false;
+        }
         id
     }
 
@@ -147,31 +264,47 @@ impl Network {
         (self.add_link(a, b, bw, prop), self.add_link(b, a, bw, prop))
     }
 
+    /// Apply a [`LinkPolicy`] to every link. The closure sees each link
+    /// (id, endpoints, current settings) and returns what to change;
+    /// [`LinkPolicy::keep`] leaves a link untouched.
+    pub fn configure_links(&mut self, mut policy: impl FnMut(&Link) -> LinkPolicy) {
+        for i in 0..self.links.len() {
+            let p = policy(&self.links[i]);
+            let l = &mut self.links[i];
+            if let Some(sched) = p.scheduler {
+                l.set_scheduler(sched);
+            }
+            if let Some(bytes) = p.buffer {
+                l.buffer = bytes;
+            }
+            if let Some(on) = p.preemptive {
+                l.preemptive = on;
+            }
+        }
+    }
+
     /// Install a scheduler on one link.
+    #[deprecated(note = "use configure_links with LinkPolicy::keep().scheduler(..)")]
     pub fn set_scheduler(&mut self, link: LinkId, sched: Box<dyn Scheduler>) {
         self.links[link.0 as usize].set_scheduler(sched);
     }
 
     /// Install schedulers on every link from a factory.
+    #[deprecated(note = "use configure_links with LinkPolicy::keep().scheduler(..)")]
     pub fn set_all_schedulers(&mut self, mut make: impl FnMut(&Link) -> Box<dyn Scheduler>) {
-        for i in 0..self.links.len() {
-            let sched = make(&self.links[i]);
-            self.links[i].set_scheduler(sched);
-        }
+        self.configure_links(|l| LinkPolicy::keep().scheduler(make(l)));
     }
 
     /// Set every link's buffer capacity (bytes); `None` = unbounded.
+    #[deprecated(note = "use configure_links with LinkPolicy::keep().buffer(..)")]
     pub fn set_all_buffers(&mut self, bytes: Option<u64>) {
-        for l in &mut self.links {
-            l.buffer = bytes;
-        }
+        self.configure_links(|_| LinkPolicy::keep().buffer(bytes));
     }
 
     /// Enable or disable preemptive transmission on every link.
+    #[deprecated(note = "use configure_links with LinkPolicy::keep().preemptive(..)")]
     pub fn set_all_preemptive(&mut self, on: bool) {
-        for l in &mut self.links {
-            l.preemptive = on;
-        }
+        self.configure_links(|_| LinkPolicy::keep().preemptive(on));
     }
 
     /// Attach an application to a host node.
@@ -180,13 +313,17 @@ impl Network {
             self.nodes[node.0 as usize].is_host(),
             "apps attach to hosts only"
         );
-        self.apps[node.0 as usize] = Some(app);
+        if self.apps[node.0 as usize].replace(app).is_none() {
+            self.napps += 1;
+        }
     }
 
     /// Detach and return the application at `node`, if any. Used after a
     /// run to harvest application-level results (e.g. flow completions).
     pub fn take_app(&mut self, node: NodeId) -> Option<Box<dyn App>> {
-        self.apps[node.0 as usize].take()
+        let app = self.apps[node.0 as usize].take();
+        self.napps -= app.is_some() as usize;
+        app
     }
 
     // ------------------------------------------------------------------
@@ -194,11 +331,17 @@ impl Network {
     // ------------------------------------------------------------------
 
     /// Compute shortest-path next-hop tables for every (node, destination)
-    /// pair. Link cost = propagation delay + transmission time of a
-    /// 1500-byte packet; equal-cost next hops form a deterministic ECMP
-    /// set. Must be called after topology construction and before
-    /// injecting routed traffic.
-    pub fn compute_routes(&mut self) {
+    /// pair and freeze them into a [`RoutingTable`]. Link cost =
+    /// propagation delay + transmission time of a 1500-byte packet;
+    /// equal-cost next hops form a deterministic ECMP set.
+    ///
+    /// The returned handle is the injection API's proof that routes
+    /// exist: [`Network::inject`] takes `&RoutingTable`, so injecting
+    /// before routing is a compile-time error. The handle is also kept
+    /// internally (see [`Network::routing`]) for applications that
+    /// resolve paths at run time.
+    #[must_use = "injection consumes the routing handle"]
+    pub fn compute_routes(&mut self) -> Arc<RoutingTable> {
         let n = self.nodes.len();
         // in_links[v] = links arriving at v (for the reverse Dijkstra).
         let mut in_links: Vec<Vec<LinkId>> = vec![Vec::new(); n];
@@ -209,15 +352,27 @@ impl Network {
             node.routes = vec![NextHop::None; n];
         }
 
-        let cost_of = |l: &Link| -> u64 { (l.prop + l.bw.tx_time(1500)).as_ps() };
+        // Per-link cost, computed once: `tx_time` is a 128-bit division,
+        // and the relaxation loops below would otherwise repeat it for
+        // every (destination, edge) pair — the dominant cost of routing
+        // a few-hundred-node topology.
+        let cost: Vec<u64> = self
+            .links
+            .iter()
+            .map(|l| (l.prop + l.bw.tx_time(1500)).as_ps())
+            .collect();
 
-        // One reverse-Dijkstra per destination.
+        // One reverse-Dijkstra per destination. The scratch vectors are
+        // reused across destinations so the whole pass allocates only
+        // for the ECMP sets it actually stores.
         let mut dist: Vec<u64> = Vec::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        let mut best: Vec<LinkId> = Vec::new();
         for dest in 0..n {
             dist.clear();
             dist.resize(n, u64::MAX);
             dist[dest] = 0;
-            let mut heap = std::collections::BinaryHeap::new();
+            heap.clear();
             heap.push(std::cmp::Reverse((0u64, dest as u32)));
             while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
                 if d > dist[v as usize] {
@@ -226,7 +381,7 @@ impl Network {
                 for &lid in &in_links[v as usize] {
                     let l = &self.links[lid.0 as usize];
                     let u = l.from.0 as usize;
-                    let nd = d + cost_of(l);
+                    let nd = d + cost[lid.0 as usize];
                     if nd < dist[u] {
                         dist[u] = nd;
                         heap.push(std::cmp::Reverse((nd, u as u32)));
@@ -238,11 +393,11 @@ impl Network {
                 if u == dest || dist[u] == u64::MAX {
                     continue;
                 }
-                let mut best: Vec<LinkId> = Vec::new();
+                best.clear();
                 for &lid in &self.nodes[u].out_links {
                     let l = &self.links[lid.0 as usize];
                     if dist[l.to.0 as usize] != u64::MAX
-                        && cost_of(l) + dist[l.to.0 as usize] == dist[u]
+                        && cost[lid.0 as usize] + dist[l.to.0 as usize] == dist[u]
                     {
                         best.push(lid);
                     }
@@ -250,37 +405,23 @@ impl Network {
                 self.nodes[u].routes[dest] = match best.len() {
                     0 => NextHop::None,
                     1 => NextHop::One(best[0]),
-                    _ => NextHop::Ecmp(best.into()),
+                    _ => NextHop::Ecmp(best.as_slice().into()),
                 };
             }
         }
-        self.routes_ready = true;
+        let table = Arc::new(RoutingTable::freeze(self));
+        self.routing = Some(Arc::clone(&table));
+        table
     }
 
-    /// Resolve the full route for `flow` from `src` to `dst` using the
-    /// next-hop tables (per-flow ECMP hashing).
-    pub fn resolve_path(&self, src: NodeId, dst: NodeId, flow: FlowId) -> Arc<Path> {
-        assert!(self.routes_ready, "compute_routes() before resolve_path()");
-        let mut links = Vec::new();
-        let mut bw = Vec::new();
-        let mut prop = Vec::new();
-        let mut at = src;
-        while at != dst {
-            let hop = self.nodes[at.0 as usize].routes[dst.0 as usize]
-                .pick(flow)
-                .unwrap_or_else(|| panic!("no route {at:?} -> {dst:?}"));
-            let l = &self.links[hop.0 as usize];
-            links.push(hop);
-            bw.push(l.bw);
-            prop.push(l.prop);
-            at = l.to;
-            assert!(links.len() <= 64, "routing loop {src:?} -> {dst:?}");
-        }
-        Arc::new(Path {
-            links: links.into(),
-            bw: bw.into(),
-            prop: prop.into(),
-        })
+    /// The frozen routing table. Panics if [`Network::compute_routes`]
+    /// has not run (or the topology changed since): run-time path
+    /// resolution (e.g. a transport opening a reverse path) goes through
+    /// this accessor.
+    pub fn routing(&self) -> &Arc<RoutingTable> {
+        self.routing
+            .as_ref()
+            .expect("compute_routes() before routing()")
     }
 
     // ------------------------------------------------------------------
@@ -304,7 +445,7 @@ impl Network {
     ) -> PacketId {
         let id = PacketId(self.next_pkt_id);
         self.next_pkt_id += 1;
-        let pkt = Packet {
+        let pkt = Box::new(Packet {
             id,
             flow,
             seq,
@@ -320,7 +461,7 @@ impl Network {
             qdelay: Dur::ZERO,
             hop_arrive: at,
             hop_first_tx: at,
-        };
+        });
         self.telemetry.on_inject(&pkt);
         let pkt = self.slab.insert(pkt);
         self.queue
@@ -328,10 +469,12 @@ impl Network {
         id
     }
 
-    /// Inject a packet at `at`, resolving the path from the routing tables.
+    /// Inject a packet at `at`, resolving its source route from the
+    /// routing table returned by [`Network::compute_routes`].
     #[allow(clippy::too_many_arguments)]
     pub fn inject(
         &mut self,
+        routes: &RoutingTable,
         at: Time,
         flow: FlowId,
         seq: u64,
@@ -341,7 +484,7 @@ impl Network {
         hdr: SchedHeader,
         kind: PacketKind,
     ) -> PacketId {
-        let path = self.resolve_path(src, dst, flow);
+        let path = routes.resolve_path(src, dst, flow);
         self.inject_on_path(at, flow, seq, size, src, dst, path, hdr, kind)
     }
 
@@ -377,17 +520,102 @@ impl Network {
         self.slab.high_water()
     }
 
-    /// Process a single event. Returns `false` if the queue was empty.
+    /// Select batched (default) or single-event reference stepping. The
+    /// two are bit-identical in outcome — the reference mode exists so
+    /// the equivalence proptest has something to compare against.
+    pub fn set_batched_drain(&mut self, on: bool) {
+        self.batch = on;
+    }
+
+    /// Process the next pending work item: one event, or — in batched
+    /// mode — one same-instant run of arrivals or completions for a
+    /// single link. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
         let Some((now, ev)) = self.queue.pop() else {
             return false;
         };
         self.telemetry.counters.events += 1;
         match ev {
-            Ev::Arrive { node, pkt } => self.handle_arrive(node, pkt, now),
-            Ev::TxDone { link, gen } => self.handle_tx_done(link, gen, now),
+            Ev::Arrive { node, pkt } => {
+                if self.batch {
+                    self.arrive_scratch.clear();
+                    self.slab.prefetch(pkt);
+                    self.arrive_scratch.push((node, pkt));
+                    while let Some((_, ev)) = self
+                        .queue
+                        .pop_if(|t, e| t == now && matches!(e, Ev::Arrive { .. }))
+                    {
+                        self.telemetry.counters.events += 1;
+                        let Ev::Arrive { node, pkt } = ev else {
+                            unreachable!("predicate admits arrivals only")
+                        };
+                        // Warm later batch members while earlier ones are
+                        // grouped and admitted.
+                        self.slab.prefetch(pkt);
+                        self.arrive_scratch.push((node, pkt));
+                    }
+                    // The scratch now holds *every* arrival at this
+                    // instant. If nothing can add more work at `now` —
+                    // network is eager-safe, no app callbacks, and no
+                    // same-instant timer pending — each port may start
+                    // transmitting inline once its whole group is
+                    // admitted, eliding the deferred `StartTx` event.
+                    let inline_ok = self.eager_ok
+                        && self.napps == 0
+                        && !matches!(
+                            self.queue.peek_cur(),
+                            Some((t, Ev::Timer { .. })) if t == now
+                        );
+                    if self.arrive_scratch.len() == 1 {
+                        // Singleton instant (the common case): no grouping
+                        // to do, skip the batch scratch machinery.
+                        self.arrive_scratch.clear();
+                        self.handle_arrive_single(node, pkt, now, inline_ok);
+                    } else {
+                        self.handle_arrive_batch(now, inline_ok);
+                    }
+                } else {
+                    self.handle_arrive(node, pkt, now);
+                }
+            }
+            Ev::TxDone { link, gen } => {
+                if self.batch {
+                    self.gen_scratch.clear();
+                    self.gen_scratch.push(gen);
+                    while let Some((_, ev)) = self.queue.pop_if(|t, e| {
+                        t == now && matches!(e, Ev::TxDone { link: l, .. } if *l == link)
+                    }) {
+                        self.telemetry.counters.events += 1;
+                        let Ev::TxDone { gen, .. } = ev else {
+                            unreachable!("predicate admits completions only")
+                        };
+                        self.gen_scratch.push(gen);
+                    }
+                    if self.gen_scratch.len() == 1 {
+                        self.handle_tx_done(link, gen, now);
+                    } else {
+                        let gens = std::mem::take(&mut self.gen_scratch);
+                        let actions = self.links[link.0 as usize].tx_done_batch(&gens, now);
+                        self.gen_scratch = gens;
+                        self.apply_port_actions(link, actions, now, true);
+                    }
+                } else {
+                    self.handle_tx_done(link, gen, now);
+                }
+            }
             Ev::Timer { node, id } => self.dispatch_timer(node, id),
             Ev::StartTx { link } => self.handle_start_tx(link, now),
+        }
+        // Cache-warm the state the *next* pending event will touch while
+        // this step's stores are still retiring: packets are accessed
+        // once per hop with thousands of events between touches, so the
+        // first access of each hop otherwise pays a full cache miss.
+        if let Some((_, ev)) = self.queue.peek_cur() {
+            match ev {
+                Ev::Arrive { pkt, .. } => self.slab.prefetch(*pkt),
+                Ev::TxDone { link, .. } => self.links[link.0 as usize].prefetch_inflight(),
+                _ => {}
+            }
         }
         true
     }
@@ -426,22 +654,144 @@ impl Network {
         );
         pkt.hop_arrive = now;
         let actions = self.links[lid.0 as usize].admit(pkt, now);
-        self.apply_port_actions(lid, actions, now);
+        self.apply_port_actions(lid, actions, now, false);
+    }
+
+    /// Process an instant whose complete arrival set is one packet — the
+    /// common case — without the batch grouping machinery. Identical
+    /// per-packet semantics to [`Network::handle_arrive_batch`].
+    fn handle_arrive_single(&mut self, node: NodeId, pref: PacketRef, now: Time, inline_ok: bool) {
+        let mut pkt = self.slab.remove(pref);
+        if node == pkt.dst && pkt.at_destination() {
+            self.telemetry.on_deliver(&pkt, now);
+            self.dispatch_deliver(node, pkt, now);
+            return;
+        }
+        let lid = pkt
+            .next_link()
+            .unwrap_or_else(|| panic!("packet {:?} stranded at {node:?}", pkt.id));
+        debug_assert_eq!(
+            self.links[lid.0 as usize].from, node,
+            "path inconsistent with arrival node"
+        );
+        pkt.hop_arrive = now;
+        let actions = self.links[lid.0 as usize].admit_single(pkt, now, inline_ok);
+        self.apply_port_actions(lid, actions, now, inline_ok);
+    }
+
+    /// Process one same-instant batch of arrivals (`arrive_scratch`, in
+    /// pop order): deliveries dispatch singly; forwards bound for the
+    /// same output port are admitted as one run.
+    ///
+    /// With `inline_ok` (no app callbacks, eager-safe network, no
+    /// same-instant timer) the batch is the instant's *complete* arrival
+    /// set, so each port's group — consecutive or not — is gathered into
+    /// one run and the port starts transmitting inline right after, with
+    /// no deferred `StartTx` event. Admissions to different ports touch
+    /// disjoint state and per-port admission order is preserved, so the
+    /// outcome is identical to deferred stepping. Without `inline_ok`
+    /// only consecutive runs batch and starts stay deferred, keeping app
+    /// callbacks interleaved exactly as single stepping would.
+    fn handle_arrive_batch(&mut self, now: Time, inline_ok: bool) {
+        let scratch = std::mem::take(&mut self.arrive_scratch);
+        let mut run = std::mem::take(&mut self.run_scratch);
+        let mut used = std::mem::take(&mut self.used_scratch);
+        used.clear();
+        used.resize(scratch.len(), false);
+        let mut i = 0;
+        while i < scratch.len() {
+            if used[i] {
+                i += 1;
+                continue;
+            }
+            let (node, pref) = scratch[i];
+            i += 1;
+            let mut pkt = self.slab.remove(pref);
+            if node == pkt.dst && pkt.at_destination() {
+                self.telemetry.on_deliver(&pkt, now);
+                self.dispatch_deliver(node, pkt, now);
+                continue;
+            }
+            let lid = pkt
+                .next_link()
+                .unwrap_or_else(|| panic!("packet {:?} stranded at {node:?}", pkt.id));
+            debug_assert_eq!(
+                self.links[lid.0 as usize].from, node,
+                "path inconsistent with arrival node"
+            );
+            pkt.hop_arrive = now;
+            run.clear();
+            run.push(pkt);
+            // In deferred mode every joined packet is the consecutive
+            // head, so the outer index can skip past them afterward.
+            let mut consumed = 0;
+            for j in i..scratch.len() {
+                if used[j] {
+                    continue;
+                }
+                let (_, p2) = scratch[j];
+                let peek = self.slab.get(p2);
+                if peek.at_destination() || peek.next_link() != Some(lid) {
+                    if inline_ok {
+                        continue; // full grouping: keep scanning the instant
+                    }
+                    break; // deferred mode: consecutive runs only
+                }
+                let mut pkt2 = self.slab.remove(p2);
+                pkt2.hop_arrive = now;
+                run.push(pkt2);
+                used[j] = true;
+                if !inline_ok {
+                    consumed += 1;
+                }
+            }
+            i += consumed;
+            let actions = self.links[lid.0 as usize].admit_batch(&mut run, now, inline_ok);
+            self.apply_port_actions(lid, actions, now, inline_ok);
+        }
+        self.run_scratch = run;
+        self.arrive_scratch = scratch;
+        self.used_scratch = used;
     }
 
     fn handle_tx_done(&mut self, lid: LinkId, gen: u64, now: Time) {
         let actions = self.links[lid.0 as usize].tx_done(gen, now);
-        self.apply_port_actions(lid, actions, now);
+        self.apply_port_actions(lid, actions, now, true);
     }
 
     fn handle_start_tx(&mut self, lid: LinkId, now: Time) {
+        self.links[lid.0 as usize].start_pending = false;
         if let Some((end, gen)) = self.links[lid.0 as usize].try_start(now) {
             self.queue
                 .push(end, class::TX_DONE, Ev::TxDone { link: lid, gen });
         }
     }
 
-    fn apply_port_actions(&mut self, lid: LinkId, actions: crate::link::PortActions, now: Time) {
+    /// The port at `lid` is idle with packets queued: start a
+    /// transmission, either inline (`inline` set, on an eager-safe
+    /// network — see the module docs) or via a deduplicated deferred
+    /// `StartTx` event.
+    fn request_start(&mut self, lid: LinkId, now: Time, inline: bool) {
+        if inline && self.eager_ok {
+            self.handle_start_tx(lid, now);
+        } else if !self.links[lid.0 as usize].start_pending {
+            self.links[lid.0 as usize].start_pending = true;
+            let cls = if self.links[lid.0 as usize].bw == Bandwidth::INFINITE {
+                class::START_WIRE
+            } else {
+                class::START_TX
+            };
+            self.queue.push(now, cls, Ev::StartTx { link: lid });
+        }
+    }
+
+    fn apply_port_actions(
+        &mut self,
+        lid: LinkId,
+        actions: crate::link::PortActions,
+        now: Time,
+        inline: bool,
+    ) {
         for dropped in actions.dropped {
             self.telemetry.on_drop(&dropped);
         }
@@ -460,17 +810,16 @@ impl Network {
             self.queue
                 .push(now + prop, class::ARRIVE, Ev::Arrive { node: to, pkt });
         }
+        if let Some((end, gen)) = actions.started {
+            self.queue
+                .push(end, class::TX_DONE, Ev::TxDone { link: lid, gen });
+        }
         if actions.want_start {
-            let cls = if self.links[lid.0 as usize].bw == Bandwidth::INFINITE {
-                class::START_WIRE
-            } else {
-                class::START_TX
-            };
-            self.queue.push(now, cls, Ev::StartTx { link: lid });
+            self.request_start(lid, now, inline);
         }
     }
 
-    fn dispatch_deliver(&mut self, node: NodeId, pkt: Packet, _now: Time) {
+    fn dispatch_deliver(&mut self, node: NodeId, pkt: Box<Packet>, _now: Time) {
         if let Some(mut app) = self.apps[node.0 as usize].take() {
             app.on_deliver(self, node, &pkt);
             debug_assert!(
@@ -522,21 +871,22 @@ mod tests {
     use super::*;
 
     /// Two hosts, one router, 1 Gbps everywhere, 5 us propagation.
-    fn line() -> (Network, NodeId, NodeId) {
+    fn line() -> (Network, Arc<RoutingTable>, NodeId, NodeId) {
         let mut net = Network::new(TraceLevel::Hops);
         let h0 = net.add_host("h0");
         let r = net.add_router("r");
         let h1 = net.add_host("h1");
         net.add_duplex(h0, r, Bandwidth::gbps(1), Dur::from_micros(5));
         net.add_duplex(r, h1, Bandwidth::gbps(1), Dur::from_micros(5));
-        net.compute_routes();
-        (net, h0, h1)
+        let rt = net.compute_routes();
+        (net, rt, h0, h1)
     }
 
     #[test]
     fn single_packet_end_to_end_latency_is_tmin() {
-        let (mut net, h0, h1) = line();
+        let (mut net, rt, h0, h1) = line();
         net.inject(
+            &rt,
             Time::ZERO,
             FlowId(0),
             0,
@@ -557,9 +907,10 @@ mod tests {
 
     #[test]
     fn back_to_back_packets_queue_at_source() {
-        let (mut net, h0, h1) = line();
+        let (mut net, rt, h0, h1) = line();
         for s in 0..3 {
             net.inject(
+                &rt,
                 Time::ZERO,
                 FlowId(0),
                 s,
@@ -604,8 +955,9 @@ mod tests {
             net.add_duplex(h, r, Bandwidth::gbps(1), Dur::from_micros(5));
         }
         net.add_duplex(r, h1, Bandwidth::gbps(1), Dur::from_micros(5));
-        net.compute_routes();
+        let rt = net.compute_routes();
         net.inject(
+            &rt,
             Time::ZERO,
             FlowId(0),
             0,
@@ -616,6 +968,7 @@ mod tests {
             PacketKind::Data { bytes: 1460 },
         );
         net.inject(
+            &rt,
             Time::ZERO,
             FlowId(1),
             0,
@@ -657,17 +1010,18 @@ mod tests {
         net.add_duplex(r0, r1, Bandwidth::gbps(10), Dur::from_micros(1));
         net.add_duplex(r0, h1, Bandwidth::gbps(10), Dur::from_micros(1));
         net.add_duplex(r1, h1, Bandwidth::gbps(10), Dur::from_micros(1));
-        net.compute_routes();
-        let p = net.resolve_path(h0, h1, FlowId(0));
+        let rt = net.compute_routes();
+        let p = rt.resolve_path(h0, h1, FlowId(0));
         assert_eq!(p.hops(), 2);
     }
 
     #[test]
     fn deterministic_given_same_inputs() {
         let run = || {
-            let (mut net, h0, h1) = line();
+            let (mut net, rt, h0, h1) = line();
             for s in 0..50 {
                 net.inject(
+                    &rt,
                     Time::from_nanos(137 * s),
                     FlowId(s % 3),
                     s,
@@ -686,5 +1040,66 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batched_and_single_event_stepping_agree() {
+        // Same 60-packet fan-in run in batched and reference mode:
+        // delivery times, qdelay, and drop counts must be bit-identical.
+        let run = |batched: bool| {
+            let mut net = Network::new(TraceLevel::Hops);
+            let hs: Vec<NodeId> = (0..4).map(|i| net.add_host(format!("h{i}"))).collect();
+            let r = net.add_router("r");
+            let sink = net.add_host("sink");
+            for &h in &hs {
+                net.add_duplex(h, r, Bandwidth::gbps(1), Dur::from_micros(2));
+            }
+            net.add_duplex(r, sink, Bandwidth::gbps(1), Dur::from_micros(2));
+            let rt = net.compute_routes();
+            net.set_batched_drain(batched);
+            for s in 0..60u64 {
+                net.inject(
+                    &rt,
+                    Time::from_nanos(500 * (s % 5)),
+                    FlowId(s % 4),
+                    s,
+                    1500,
+                    hs[(s % 4) as usize],
+                    sink,
+                    SchedHeader::default(),
+                    PacketKind::Data { bytes: 1460 },
+                );
+            }
+            net.run_to_completion();
+            net.telemetry
+                .packets
+                .iter()
+                .map(|p| (p.delivered.map(|t| t.as_ps()), p.total_qdelay().as_ps()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "compute_routes() before routing()")]
+    fn runtime_routing_access_requires_computed_routes() {
+        let mut net = Network::new(TraceLevel::Off);
+        let h0 = net.add_host("h0");
+        let h1 = net.add_host("h1");
+        net.add_duplex(h0, h1, Bandwidth::gbps(1), Dur::from_micros(1));
+        let _ = net.routing();
+    }
+
+    #[test]
+    fn topology_changes_invalidate_the_stored_routing_handle() {
+        let (mut net, _rt, _h0, _h1) = line();
+        assert!(net.routing().ecmp_width(NodeId(0), NodeId(2)) > 0);
+        let extra = net.add_host("late");
+        let _ = extra;
+        // The stored handle is cleared until routes are recomputed.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = net.routing();
+        }));
+        assert!(result.is_err(), "stale routing handle must not survive");
     }
 }

@@ -147,6 +147,29 @@ pub struct Packet {
     pub hop_first_tx: Time,
 }
 
+/// Hint the CPU to pull every cache line of `pkt` into cache. Issued by
+/// the event loop for the *next* event's packet while the current one is
+/// processed; a `Packet` spans multiple lines and a hop touches most of
+/// them. No-op on non-x86 targets.
+#[inline]
+pub(crate) fn prefetch_packet(pkt: &Packet) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let base = (pkt as *const Packet).cast::<u8>();
+        let mut off = 0;
+        while off < core::mem::size_of::<Packet>() {
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    base.add(off).cast(),
+                );
+            }
+            off += 64;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = pkt;
+}
+
 impl Packet {
     /// The link this packet takes next, or `None` if it has arrived.
     pub fn next_link(&self) -> Option<LinkId> {

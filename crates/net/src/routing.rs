@@ -1,0 +1,133 @@
+//! The frozen forwarding table: a flat next-hop cache plus path resolution.
+//!
+//! [`crate::Network::compute_routes`] runs its all-destinations Dijkstra
+//! and then freezes the result into a [`RoutingTable`]: a dense CSR-style
+//! `(destination, node) → [next-hop links]` array. Resolving one hop is
+//! two array indexes — an offset lookup and an ECMP member pick — instead
+//! of walking the per-node `NextHop` enum vec and matching its variants.
+//! The table also snapshots each link's `(to, bw, prop)` so a full
+//! source-route ([`RoutingTable::resolve_path`]) needs no access to the
+//! `Network` at all.
+//!
+//! The handle doubles as the API's proof of route finalization: packet
+//! injection ([`crate::Network::inject`]) takes `&RoutingTable`, so
+//! "inject before routing" fails to compile instead of panicking at run
+//! time (the old design tracked readiness with a hidden bool and a
+//! runtime assert).
+//!
+//! ECMP determinism: a flow's hash depends only on the flow id, so it is
+//! computed **once** per resolve and reused at every hop. This picks
+//! byte-identical paths to the legacy per-hop [`crate::NextHop::pick`]
+//! (which recomputes the same hash at each hop) — a property the routing
+//! proptest checks on random connected topologies.
+
+use crate::network::Network;
+use crate::packet::{FlowId, LinkId, NodeId, Path};
+use std::sync::Arc;
+use ups_sim::{Bandwidth, Dur};
+
+/// Immutable, flat forwarding state frozen from a routed [`Network`].
+#[derive(Debug)]
+pub struct RoutingTable {
+    /// Number of nodes (the table is dense over `n × n` pairs).
+    n: usize,
+    /// CSR offsets, destination-major: the equal-cost next hops of
+    /// `(node, dest)` are `hops[off[dest·n + node] .. off[dest·n + node + 1]]`.
+    /// An empty range means unreachable (or `node == dest`).
+    off: Box<[u32]>,
+    /// Concatenated ECMP member links for every `(node, dest)` pair.
+    hops: Box<[LinkId]>,
+    /// Per-link receiving node, indexed by `LinkId`.
+    link_to: Box<[NodeId]>,
+    /// Per-link serialization rate, indexed by `LinkId`.
+    link_bw: Box<[Bandwidth]>,
+    /// Per-link propagation delay, indexed by `LinkId`.
+    link_prop: Box<[Dur]>,
+}
+
+impl RoutingTable {
+    /// Freeze the network's per-node `NextHop` tables into flat arrays.
+    /// Called by [`Network::compute_routes`] after the Dijkstra pass.
+    pub(crate) fn freeze(net: &Network) -> RoutingTable {
+        let n = net.nodes.len();
+        let mut off = Vec::with_capacity(n * n + 1);
+        let mut hops = Vec::new();
+        off.push(0u32);
+        for dest in 0..n {
+            for node in net.nodes.iter() {
+                match &node.routes[dest] {
+                    crate::node::NextHop::None => {}
+                    crate::node::NextHop::One(l) => hops.push(*l),
+                    crate::node::NextHop::Ecmp(ls) => hops.extend_from_slice(ls),
+                }
+                off.push(hops.len() as u32);
+            }
+        }
+        RoutingTable {
+            n,
+            off: off.into(),
+            hops: hops.into(),
+            link_to: net.links.iter().map(|l| l.to).collect(),
+            link_bw: net.links.iter().map(|l| l.bw).collect(),
+            link_prop: net.links.iter().map(|l| l.prop).collect(),
+        }
+    }
+
+    /// The deterministic ECMP hash of a flow id (SplitMix-style
+    /// avalanche, identical to [`crate::NextHop::pick`]'s). Hop-invariant
+    /// by construction, so callers hash once per path resolution.
+    pub fn flow_hash(flow: FlowId) -> u64 {
+        let mut z = flow.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next link from `node` toward `dest` for a flow with the given
+    /// precomputed [`flow_hash`](RoutingTable::flow_hash). Two array
+    /// indexes: the CSR offset pair, then the hash-picked ECMP member.
+    /// `None` if unreachable (or `node == dest`).
+    #[inline]
+    pub fn next_hop(&self, node: NodeId, dest: NodeId, hash: u64) -> Option<LinkId> {
+        let idx = dest.0 as usize * self.n + node.0 as usize;
+        let (lo, hi) = (self.off[idx] as usize, self.off[idx + 1] as usize);
+        match hi - lo {
+            0 => None,
+            1 => Some(self.hops[lo]),
+            w => Some(self.hops[lo + (hash % w as u64) as usize]),
+        }
+    }
+
+    /// Number of equal-cost next hops from `node` toward `dest`
+    /// (0 = unreachable).
+    pub fn ecmp_width(&self, node: NodeId, dest: NodeId) -> usize {
+        let idx = dest.0 as usize * self.n + node.0 as usize;
+        (self.off[idx + 1] - self.off[idx]) as usize
+    }
+
+    /// Resolve the full source route for `flow` from `src` to `dst`.
+    /// Panics if no route exists; paths longer than 64 hops are treated
+    /// as routing loops.
+    pub fn resolve_path(&self, src: NodeId, dst: NodeId, flow: FlowId) -> Arc<Path> {
+        let hash = Self::flow_hash(flow);
+        let mut links = Vec::new();
+        let mut bw = Vec::new();
+        let mut prop = Vec::new();
+        let mut at = src;
+        while at != dst {
+            let hop = self
+                .next_hop(at, dst, hash)
+                .unwrap_or_else(|| panic!("no route {at:?} -> {dst:?}"));
+            links.push(hop);
+            bw.push(self.link_bw[hop.0 as usize]);
+            prop.push(self.link_prop[hop.0 as usize]);
+            at = self.link_to[hop.0 as usize];
+            assert!(links.len() <= 64, "routing loop {src:?} -> {dst:?}");
+        }
+        Arc::new(Path {
+            links: links.into(),
+            bw: bw.into(),
+            prop: prop.into(),
+        })
+    }
+}

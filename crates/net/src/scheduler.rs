@@ -17,8 +17,9 @@ use ups_sim::{Dur, Time};
 /// the scheduler may key on.
 #[derive(Debug)]
 pub struct Queued {
-    /// The packet itself.
-    pub pkt: Packet,
+    /// The packet itself, boxed so queue reorders and hand-offs move a
+    /// pointer instead of the full packet.
+    pub pkt: Box<Packet>,
     /// When it entered this queue.
     pub enq_time: Time,
     /// Its transmission time on this link (for the remaining bytes).
@@ -95,6 +96,22 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// scheduler regardless of the port setting.
     fn urgency(&self, _q: &Queued) -> Option<i64> {
         None
+    }
+
+    /// Whether this scheduler reads [`Queued::remaining_tmin`]. Computing
+    /// it walks the packet's remaining path on every admit, so ports skip
+    /// it for schedulers that never look (FIFO). Defaults to `true`; only
+    /// override with `false` when no code path touches the field.
+    fn uses_tmin(&self) -> bool {
+        true
+    }
+
+    /// Whether this is the crate's drop-tail [`Fifo`](crate::fifo::Fifo).
+    /// Ports route the (empty) default scheduler into a statically
+    /// dispatched arm so the per-hop enqueue/dequeue pair inlines instead
+    /// of going through the vtable. Only the FIFO impl overrides this.
+    fn is_fifo(&self) -> bool {
+        false
     }
 }
 

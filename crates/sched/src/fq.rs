@@ -12,7 +12,8 @@
 //! Tags are in "virtual bit-times" scaled by 256 to give integer
 //! precision for fractional weights.
 
-use std::collections::{BTreeMap, HashMap};
+use crate::soa::OrderedQueue;
+use std::collections::HashMap;
 use ups_net::scheduler::{EvictOutcome, Queued, Scheduler};
 use ups_net::FlowId;
 
@@ -21,8 +22,9 @@ const WEIGHT_SCALE: u64 = 256;
 /// Self-clocked fair-queuing scheduler.
 #[derive(Debug)]
 pub struct Fq {
-    /// Queued packets ordered by (finish tag, arrival seq).
-    q: BTreeMap<(u64, u64), Queued>,
+    /// Queued packets ordered by (finish tag, arrival seq), stored
+    /// struct-of-arrays (see [`crate::soa`]).
+    q: OrderedQueue<u64>,
     /// Last finish tag assigned per flow.
     last_finish: HashMap<FlowId, u64>,
     /// Current virtual time = tag of the packet last selected for service.
@@ -41,7 +43,7 @@ impl Fq {
     /// Create an FQ scheduler with unit weights.
     pub fn new() -> Fq {
         Fq {
-            q: BTreeMap::new(),
+            q: OrderedQueue::new(),
             last_finish: HashMap::new(),
             vtime: 0,
             weights: HashMap::new(),
@@ -76,11 +78,11 @@ impl Scheduler for Fq {
     fn enqueue(&mut self, q: Queued) {
         let tag = self.finish_tag(&q);
         self.last_finish.insert(q.pkt.flow, tag);
-        self.q.insert((tag, q.arrival_seq), q);
+        self.q.insert(tag, q);
     }
 
     fn dequeue(&mut self) -> Option<Queued> {
-        let ((tag, _), q) = self.q.pop_first()?;
+        let (tag, q) = self.q.pop_min()?;
         self.vtime = tag;
         Some(q)
     }
@@ -93,9 +95,9 @@ impl Scheduler for Fq {
         // Drop the packet with the largest finish tag — the one furthest
         // past its fair share — if it is worse than the arrival would be.
         let incoming_tag = self.finish_tag(incoming);
-        match self.q.last_key_value() {
-            Some((&(worst, _), _)) if worst > incoming_tag => {
-                let (_, victim) = self.q.pop_last().expect("non-empty");
+        match self.q.max_key() {
+            Some(worst) if worst > incoming_tag => {
+                let (_, victim) = self.q.pop_max().expect("non-empty");
                 EvictOutcome::Evicted(victim)
             }
             _ => EvictOutcome::DropIncoming,

@@ -2,11 +2,13 @@
 //!
 //! Most algorithms in the paper — LSTF, EDF, static Priority, SJF, FIFO+,
 //! LIFO — are "serve the queued packet with the smallest key, break ties
-//! FCFS". [`Keyed`] implements that once over a `BTreeMap` ordered by
-//! `(key, arrival_seq)`, which also gives an O(log n) *max* lookup for the
-//! drop-worst buffer policy and an O(1) min peek for preemption urgency.
+//! FCFS". [`Keyed`] implements that once over an [`OrderedQueue`] keyed by
+//! `(key, arrival_seq)`, which stores compare keys struct-of-arrays style
+//! in one dense sorted vector (see [`crate::soa`]) and gives an O(1) max
+//! lookup for the drop-worst buffer policy and an O(1) min peek for
+//! preemption urgency.
 
-use std::collections::BTreeMap;
+use crate::soa::OrderedQueue;
 use ups_net::scheduler::{EvictOutcome, Queued, Scheduler};
 use ups_net::Packet;
 
@@ -31,7 +33,7 @@ pub trait KeyPolicy: std::fmt::Debug + Send {
 #[derive(Debug)]
 pub struct Keyed<P: KeyPolicy> {
     policy: P,
-    q: BTreeMap<(i64, u64), Queued>,
+    q: OrderedQueue<i64>,
 }
 
 impl<P: KeyPolicy> Keyed<P> {
@@ -39,13 +41,13 @@ impl<P: KeyPolicy> Keyed<P> {
     pub fn new(policy: P) -> Keyed<P> {
         Keyed {
             policy,
-            q: BTreeMap::new(),
+            q: OrderedQueue::new(),
         }
     }
 
     /// Peek at the next packet to be served.
     pub fn peek(&self) -> Option<&Packet> {
-        self.q.values().next().map(|e| &e.pkt)
+        self.q.peek_min().map(|e| &*e.pkt)
     }
 }
 
@@ -55,13 +57,12 @@ impl<P: KeyPolicy> Scheduler for Keyed<P> {
     }
 
     fn enqueue(&mut self, q: Queued) {
-        let key = (self.policy.key(&q), q.arrival_seq);
-        let prev = self.q.insert(key, q);
-        debug_assert!(prev.is_none(), "duplicate (key, arrival_seq)");
+        let key = self.policy.key(&q);
+        self.q.insert(key, q);
     }
 
     fn dequeue(&mut self) -> Option<Queued> {
-        self.q.pop_first().map(|(_, v)| v)
+        self.q.pop_min().map(|(_, v)| v)
     }
 
     fn len(&self) -> usize {
@@ -73,9 +74,9 @@ impl<P: KeyPolicy> Scheduler for Keyed<P> {
             return EvictOutcome::DropIncoming;
         }
         let incoming_key = self.policy.key(incoming);
-        match self.q.last_key_value() {
-            Some((&(worst_key, _), _)) if worst_key > incoming_key => {
-                let (_, victim) = self.q.pop_last().expect("non-empty");
+        match self.q.max_key() {
+            Some(worst_key) if worst_key > incoming_key => {
+                let (_, victim) = self.q.pop_max().expect("non-empty");
                 EvictOutcome::Evicted(victim)
             }
             _ => EvictOutcome::DropIncoming,

@@ -15,6 +15,7 @@
 //! | [`lifo`] | LIFO | replay stress test |
 //! | [`random`] | seeded Random | default "arbitrary" original schedule |
 //! | [`keyed`] | generic comparator core | shared machinery |
+//! | [`soa`] | struct-of-arrays ordered queue | shared machinery |
 //! | [`factory`] | [`SchedKind`] | build-by-name for experiment configs |
 //!
 //! FIFO itself lives in `ups-net` (it is the port default) and is
@@ -30,6 +31,7 @@ pub mod lifo;
 pub mod lstf;
 pub mod prio;
 pub mod random;
+pub mod soa;
 pub mod srpt;
 
 pub use drr::Drr;

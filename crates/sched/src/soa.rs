@@ -1,0 +1,176 @@
+//! Struct-of-arrays storage for key-ordered schedulers.
+//!
+//! [`Keyed`](crate::Keyed) and [`Fq`](crate::Fq) used to keep their
+//! packets in a `BTreeMap<(key, arrival_seq), Queued>`: every node a
+//! separate allocation, compare keys interleaved with ~50-byte payloads,
+//! so a pop or an ordered insert chased pointers through cold lines. Port
+//! queues are shallow (tens of packets, not thousands), which makes a
+//! sorted dense vector the better structure. [`OrderedQueue`] splits the
+//! state struct-of-arrays style:
+//!
+//! * `order` — one flat `Vec` of `(key, arrival_seq, slot)` triples kept
+//!   sorted *descending*, so the packet to serve next sits at the back:
+//!   a pop is `Vec::pop`, a peek is `last()`, and the binary search of an
+//!   insert scans only this dense key array.
+//! * `slots` — the fat [`Queued`] payloads in a slot-reusing arena,
+//!   untouched until a packet is actually served or evicted.
+//!
+//! The comparison key is exactly the old map key, `(key, arrival_seq)`,
+//! so service order — smallest key first, FCFS among equals — and the
+//! drop-worst victim are identical to the `BTreeMap` implementation.
+
+use ups_net::scheduler::Queued;
+
+/// A min-queue of [`Queued`] packets ordered by `(key, arrival_seq)`,
+/// stored struct-of-arrays; see the module docs.
+#[derive(Debug)]
+pub struct OrderedQueue<K> {
+    /// `(key, arrival_seq, slot)`, sorted descending: minimum at the back.
+    order: Vec<(K, u64, u32)>,
+    /// Packet payloads, indexed by the `slot` field of `order` entries.
+    slots: Vec<Option<Queued>>,
+    /// Reusable empty slots.
+    free: Vec<u32>,
+}
+
+impl<K: Copy + Ord> OrderedQueue<K> {
+    /// An empty queue.
+    pub fn new() -> OrderedQueue<K> {
+        OrderedQueue {
+            order: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Insert `q` under `key`, keeping FCFS order among equal keys.
+    pub fn insert(&mut self, key: K, q: Queued) {
+        let seq = q.arrival_seq;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none(), "free-listed live slot");
+                self.slots[slot as usize] = Some(q);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("OrderedQueue overflow");
+                self.slots.push(Some(q));
+                slot
+            }
+        };
+        // Descending sort: the insertion point is after every strictly
+        // greater (key, seq). arrival_seq is unique, so ties are impossible.
+        let at = self.order.partition_point(|&(k, s, _)| (k, s) > (key, seq));
+        debug_assert!(
+            !self
+                .order
+                .get(at)
+                .is_some_and(|&(k, s, _)| (k, s) == (key, seq)),
+            "duplicate (key, arrival_seq)"
+        );
+        self.order.insert(at, (key, seq, slot));
+    }
+
+    /// Remove and return the smallest-`(key, arrival_seq)` packet.
+    pub fn pop_min(&mut self) -> Option<(K, Queued)> {
+        let (key, _, slot) = self.order.pop()?;
+        Some((key, self.take(slot)))
+    }
+
+    /// Remove and return the largest-`(key, arrival_seq)` packet (the
+    /// drop-worst eviction victim).
+    pub fn pop_max(&mut self) -> Option<(K, Queued)> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let (key, _, slot) = self.order.remove(0);
+        Some((key, self.take(slot)))
+    }
+
+    /// The smallest queued packet, if any.
+    pub fn peek_min(&self) -> Option<&Queued> {
+        let &(_, _, slot) = self.order.last()?;
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// The largest key currently queued.
+    pub fn max_key(&self) -> Option<K> {
+        self.order.first().map(|&(key, _, _)| key)
+    }
+
+    fn take(&mut self, slot: u32) -> Queued {
+        self.free.push(slot);
+        self.slots[slot as usize]
+            .take()
+            .expect("order entry names an empty slot")
+    }
+}
+
+impl<K: Copy + Ord> Default for OrderedQueue<K> {
+    fn default() -> Self {
+        OrderedQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::testutil::queued_prio;
+
+    #[test]
+    fn pops_in_key_then_fcfs_order() {
+        let mut q = OrderedQueue::new();
+        q.insert(3i64, queued_prio(3, 0, 0));
+        q.insert(1, queued_prio(1, 1, 1));
+        q.insert(2, queued_prio(2, 2, 2));
+        q.insert(1, queued_prio(1, 3, 3));
+        let order: Vec<(i64, u64)> = std::iter::from_fn(|| q.pop_min())
+            .map(|(k, e)| (k, e.arrival_seq))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (1, 3), (2, 2), (3, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_max_is_drop_worst_victim() {
+        let mut q = OrderedQueue::new();
+        for (key, seq) in [(5i64, 0u64), (9, 1), (9, 2), (1, 3)] {
+            q.insert(key, queued_prio(key, seq, seq));
+        }
+        assert_eq!(q.max_key(), Some(9));
+        // Worst = largest (key, seq): the *later* of the two key-9 packets.
+        let (key, victim) = q.pop_max().unwrap();
+        assert_eq!((key, victim.arrival_seq), (9, 2));
+        assert_eq!(q.pop_max().unwrap().1.arrival_seq, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut q = OrderedQueue::new();
+        for round in 0..100u64 {
+            q.insert(0i64, queued_prio(0, round, round));
+            q.pop_min().unwrap();
+        }
+        assert!(q.slots.len() <= 1, "arena grew on a steady-state queue");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = OrderedQueue::new();
+        q.insert(7i64, queued_prio(7, 0, 0));
+        q.insert(4, queued_prio(4, 1, 1));
+        assert_eq!(q.peek_min().unwrap().arrival_seq, 1);
+        assert_eq!(q.pop_min().unwrap().1.arrival_seq, 1);
+    }
+}

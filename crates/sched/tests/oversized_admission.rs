@@ -23,13 +23,13 @@ fn mk_link(kind: SchedKind, buffer: u64) -> Link {
     l
 }
 
-fn mk_pkt(id: u64, size: u32, slack: i64) -> Packet {
+fn mk_pkt(id: u64, size: u32, slack: i64) -> Box<Packet> {
     let path = Arc::new(Path {
         links: vec![LinkId(0)].into(),
         bw: vec![Bandwidth::gbps(1)].into(),
         prop: vec![Dur::from_micros(5)].into(),
     });
-    Packet {
+    Box::new(Packet {
         id: PacketId(id),
         flow: FlowId(id),
         seq: 0,
@@ -49,7 +49,7 @@ fn mk_pkt(id: u64, size: u32, slack: i64) -> Packet {
         qdelay: Dur::ZERO,
         hop_arrive: Time::ZERO,
         hop_first_tx: Time::ZERO,
-    }
+    })
 }
 
 /// Arrival alone exceeds the buffer, queue empty: must drop the arrival

@@ -17,32 +17,45 @@
 //! `BinaryHeap`:
 //!
 //! 1. **Current slot** (`cur`) — every pending event of the slot being
-//!    drained, kept sorted *descending* so the next event is a `Vec::pop`
-//!    away. Same-instant pushes (the dominant case: event-class cascades
-//!    at one simulation instant) binary-search into this buffer.
+//!    drained, kept in a small min-heap so both popping and same-slot
+//!    pushes are O(log n) with a handful of 32-byte sifts. (An earlier
+//!    design kept this tier as a sorted `Vec` with binary-search inserts;
+//!    profiling the fat-tree k=8 bench showed those inserts memmoving
+//!    ~90 entries on average, hundreds of thousands of times per run —
+//!    the single largest cost in the event core.)
 //! 2. **Wheel** (`buckets`) — `NUM_SLOTS` unsorted buckets for events
 //!    within the wheel horizon ([`WHEEL_HORIZON`], ~17 ms), indexed by
 //!    `slot % NUM_SLOTS` with a word-packed occupancy bitmap for
 //!    O(words) next-slot scans.
-//!    Push is O(1); each bucket is sorted once, when its slot becomes
-//!    current.
+//!    Push is O(1); each bucket is heapified once (O(n)), when its slot
+//!    becomes current.
 //! 3. **Far heap** (`far`) — a `BinaryHeap` fallback for events beyond
 //!    the horizon (long TCP retransmission timers, flow arrivals). As the
 //!    wheel advances, far events whose slot becomes current are merged
-//!    into the drain buffer before it is sorted.
+//!    into the drain heap.
 //!
 //! All three tiers reuse their allocations in steady state (bucket `Vec`s
-//! are swapped, never freed), so pushing and popping events performs no
-//! heap allocation once the simulation has warmed up.
+//! are swapped with the drain heap's storage, never freed), so pushing
+//! and popping events performs no heap allocation once the simulation has
+//! warmed up.
+//!
+//! # Batch-slot API
+//!
+//! [`EventQueue::pop_if`] exposes the head of the queue to a caller-side
+//! predicate, so the simulation loop can drain a run of same-instant
+//! events destined for the same component as one batch without giving up
+//! pop-order determinism (the network layer batches same-instant arrivals
+//! per link this way).
 //!
 //! # Determinism invariant
 //!
 //! Pop order is **identical** to a min-`BinaryHeap` over the full key
 //! `(time, class, seq)`: slots partition the time axis monotonically, the
-//! drain buffer holds the complete pending set of the current slot in
-//! sorted order, and late same-slot pushes insert at their sorted
-//! position. `tests/wheel_properties.rs` checks this equivalence against
-//! a reference heap model under random interleaved push/pop.
+//! drain heap holds the complete pending set of the current slot, keys
+//! are unique (the sequence number), and a binary heap over unique keys
+//! pops them in exact ascending order. `tests/wheel_properties.rs` checks
+//! this equivalence against a reference heap model under random
+//! interleaved push/pop.
 
 use crate::time::{Dur, Time};
 use std::cmp::Reverse;
@@ -50,8 +63,8 @@ use std::collections::BinaryHeap;
 
 /// log2 of the wheel slot width in picoseconds (2^23 ps ≈ 8.4 µs — a
 /// handful of 1500 B transmission times at 1 Gbps, so events of the same
-/// queueing burst usually share a slot and the per-slot sort runs over a
-/// cache-resident handful of entries).
+/// queueing burst usually share a slot and the per-slot heap stays
+/// cache-resident).
 const SLOT_BITS: u32 = 23;
 /// Number of wheel buckets; must be a power of two. Together with
 /// [`SLOT_BITS`] this puts the wheel horizon at ~17 ms of simulated
@@ -114,13 +127,13 @@ impl<E> Ord for Entry<E> {
 /// A future-event list with class-then-FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// Pending events of `cur_slot`, sorted descending (next pop at the
-    /// back).
-    cur: Vec<(Key, E)>,
+    /// Pending events of `cur_slot`, as a min-heap (unique keys make heap
+    /// order exact total order).
+    cur: BinaryHeap<Reverse<Entry<E>>>,
     /// Absolute slot number (`time >> SLOT_BITS`) being drained.
     cur_slot: u64,
     /// Unsorted buckets for slots in `(cur_slot, cur_slot + NUM_SLOTS)`.
-    buckets: Vec<Vec<(Key, E)>>,
+    buckets: Vec<Vec<Reverse<Entry<E>>>>,
     /// One bit per bucket: does it hold any events?
     occ: [u64; OCC_WORDS],
     /// Total events across all buckets.
@@ -143,7 +156,7 @@ impl<E> EventQueue<E> {
     /// Create an empty queue positioned at t = 0.
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            cur: Vec::new(),
+            cur: BinaryHeap::new(),
             cur_slot: 0,
             buckets: std::iter::repeat_with(Vec::new).take(NUM_SLOTS).collect(),
             occ: [0; OCC_WORDS],
@@ -165,15 +178,22 @@ impl<E> EventQueue<E> {
         let key = Key::new(time, class, self.seq);
         self.seq += 1;
         let slot = time.as_ps() >> SLOT_BITS;
-        if slot == self.cur_slot {
-            // Same-slot push: insert at its sorted (descending) position.
-            // `partition_point` returns the count of strictly-greater
-            // keys, i.e. exactly where this one belongs.
-            let pos = self.cur.partition_point(|(k, _)| *k > key);
-            self.cur.insert(pos, (key, event));
+        // At the current slot (pushes are never earlier: `time >= now`
+        // and `now` lives in `cur_slot`): join the drain heap, keeping
+        // the invariant that it holds every pending event of the slot.
+        if slot <= self.cur_slot {
+            self.cur.push(Reverse(Entry { key, event }));
         } else if slot - self.cur_slot < NUM_SLOTS as u64 {
             let idx = (slot & SLOT_MASK) as usize;
-            self.buckets[idx].push((key, event));
+            let bucket = &mut self.buckets[idx];
+            if bucket.capacity() == 0 {
+                // First lifetime use of this bucket: skip the doubling
+                // ladder — busy simulations put tens to hundreds of
+                // events in every active slot, and bucket storage is
+                // recycled, never freed.
+                bucket.reserve(64);
+            }
+            bucket.push(Reverse(Entry { key, event }));
             self.occ[idx >> 6] |= 1 << (idx & 63);
             self.wheel_len += 1;
         } else {
@@ -186,13 +206,41 @@ impl<E> EventQueue<E> {
         if self.cur.is_empty() {
             self.advance()?;
         }
-        let (key, event) = self.cur.pop().expect("advance() fills the drain buffer");
-        self.now = key.time;
-        Some((key.time, event))
+        let Reverse(e) = self.cur.pop().expect("advance() fills the drain heap");
+        self.now = e.key.time;
+        Some((e.key.time, e.event))
+    }
+
+    /// Pop the earliest event only if the caller's predicate accepts it.
+    ///
+    /// This is the batch-drain primitive: the simulation loop peeks the
+    /// head, decides whether it belongs to the batch being assembled
+    /// (same instant, same target component), and either consumes it or
+    /// leaves the queue untouched. Accepting an event advances "now"
+    /// exactly as [`EventQueue::pop`] would.
+    ///
+    /// Only the drain heap is consulted — deliberately. Batches extend
+    /// same-instant runs, and every event at the current instant is in
+    /// the drain heap by construction (`push` routes anything at or
+    /// before `cur_slot` there, and entering a slot merges its bucket
+    /// and far events). Rejected probes therefore never advance the
+    /// wheel; eagerly advancing here would heapify future slots early
+    /// and redirect their pushes into the drain heap, degrading the
+    /// wheel to a single binary heap.
+    pub fn pop_if(&mut self, pred: impl FnOnce(Time, &E) -> bool) -> Option<(Time, E)> {
+        {
+            let Reverse(head) = self.cur.peek()?;
+            if !pred(head.key.time, &head.event) {
+                return None;
+            }
+        }
+        let Reverse(e) = self.cur.pop().expect("peeked entry");
+        self.now = e.key.time;
+        Some((e.key.time, e.event))
     }
 
     /// Move `cur_slot` to the next slot holding events and load them into
-    /// the (empty) drain buffer, merging wheel and far-heap sources.
+    /// the (empty) drain heap, merging wheel and far-heap sources.
     /// Returns `None` when no events are pending anywhere.
     fn advance(&mut self) -> Option<()> {
         debug_assert!(self.cur.is_empty());
@@ -206,24 +254,25 @@ impl<E> EventQueue<E> {
         };
         let idx = (self.cur_slot & SLOT_MASK) as usize;
         if self.occ[idx >> 6] & (1 << (idx & 63)) != 0 {
-            // Swap, don't drain: the drained Vec becomes the bucket's new
-            // (empty, capacity-preserving) storage.
-            std::mem::swap(&mut self.cur, &mut self.buckets[idx]);
+            // Heapify the bucket in place (O(n), no copy), and hand the
+            // drained heap's storage back to the bucket slot so both
+            // allocations stay in rotation.
+            let bucket = std::mem::take(&mut self.buckets[idx]);
+            let drained = std::mem::replace(&mut self.cur, BinaryHeap::from(bucket));
+            self.buckets[idx] = drained.into_vec();
+            debug_assert!(self.buckets[idx].is_empty());
             self.occ[idx >> 6] &= !(1 << (idx & 63));
             self.wheel_len -= self.cur.len();
         }
         // Far events whose slot has come into range join the same drain
-        // buffer; later far slots stay put until a later advance.
+        // heap; later far slots stay put until a later advance.
         while let Some(Reverse(top)) = self.far.peek() {
             if slot_of(top.key.time) != self.cur_slot {
                 break;
             }
-            let Reverse(e) = self.far.pop().expect("peeked entry");
-            self.cur.push((e.key, e.event));
+            let e = self.far.pop().expect("peeked entry");
+            self.cur.push(e);
         }
-        // Descending order: the next event to pop sits at the back. Keys
-        // are unique (seq), so unstable sort is deterministic.
-        self.cur.sort_unstable_by_key(|&(k, _)| Reverse(k));
         debug_assert!(!self.cur.is_empty(), "advanced to an empty slot");
         Some(())
     }
@@ -252,15 +301,23 @@ impl<E> EventQueue<E> {
     }
 
     /// Time of the next event without removing it.
+    /// Peek the head of the current drain heap without touching the
+    /// wheel. `None` means no event is pending at or before the current
+    /// slot — in particular, no event at the current instant (every
+    /// same-instant event is in the drain heap by construction).
+    pub fn peek_cur(&self) -> Option<(Time, &E)> {
+        self.cur.peek().map(|Reverse(e)| (e.key.time, &e.event))
+    }
+
     pub fn peek_time(&self) -> Option<Time> {
-        if let Some((key, _)) = self.cur.last() {
-            return Some(key.time);
+        if let Some(Reverse(e)) = self.cur.peek() {
+            return Some(e.key.time);
         }
         let wheel_min = (self.wheel_len > 0).then(|| {
             let idx = (self.next_occupied_slot() & SLOT_MASK) as usize;
             self.buckets[idx]
                 .iter()
-                .map(|(k, _)| k.time)
+                .map(|Reverse(e)| e.key.time)
                 .min()
                 .expect("occupied bucket")
         });
@@ -390,6 +447,46 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 75);
         assert_eq!(q.pop().unwrap().1, 100);
         assert_eq!(q.scheduled_total(), 4);
+    }
+
+    #[test]
+    fn pop_if_consumes_only_accepted_events() {
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(1);
+        q.push(t, 0, "a");
+        q.push(t, 0, "b");
+        q.push(Time::from_micros(2), 0, "later");
+        // Accept same-instant events tagged 'a'/'b', refuse the rest.
+        assert_eq!(q.pop_if(|pt, e| pt == t && *e == "a"), Some((t, "a")));
+        // Head is "b": a predicate expecting "a" must leave it in place.
+        assert_eq!(q.pop_if(|pt, e| pt == t && *e == "a"), None);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((t, "b")));
+        // Cross-instant refusal: head is at 2us, batch instant was 1us.
+        assert_eq!(q.pop_if(|pt, _| pt == t), None);
+        assert_eq!(q.pop(), Some((Time::from_micros(2), "later")));
+        // Empty queue: pop_if is None without calling the predicate.
+        assert_eq!(q.pop_if(|_, _| true), None);
+    }
+
+    #[test]
+    fn pop_if_never_advances_the_wheel() {
+        // pop_if probes the drain heap only: with the pending event still
+        // sitting in a future wheel slot, a probe returns None and leaves
+        // the queue untouched, and pop still finds the event afterwards.
+        // (Same-instant events are always in the drain heap, so a batch
+        // probe has nothing to look for beyond it; advancing here would
+        // pull future slots into the drain heap prematurely.)
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(1);
+        q.push(t, 0, 7u32);
+        assert_eq!(q.pop_if(|_, _| true), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t, 7)));
+        assert_eq!(q.now(), t);
+        // Once the slot is current, a probe at the head succeeds.
+        q.push(t, 1, 8u32);
+        assert_eq!(q.pop_if(|_, _| true), Some((t, 8)));
     }
 
     /// Far-future events (beyond the wheel horizon) overflow to the

@@ -143,9 +143,10 @@ pub fn build(cfg: &FatTreeConfig, level: TraceLevel) -> Topology {
         }
     }
 
-    net.compute_routes();
+    let routes = net.compute_routes();
     let topo = Topology {
         net,
+        routes,
         name: format!("FatTree(k={k})"),
         hosts,
         core_links,
@@ -184,10 +185,10 @@ mod tests {
     fn intra_pod_paths_avoid_core() {
         let t = k4();
         // Hosts 0 and 1 share a ToR: 2 hops.
-        let p = t.net.resolve_path(t.hosts[0], t.hosts[1], FlowId(0));
+        let p = t.routes.resolve_path(t.hosts[0], t.hosts[1], FlowId(0));
         assert_eq!(p.hops(), 2);
         // Hosts 0 and 2 share a pod but not a ToR: 4 hops (via agg).
-        let p = t.net.resolve_path(t.hosts[0], t.hosts[2], FlowId(0));
+        let p = t.routes.resolve_path(t.hosts[0], t.hosts[2], FlowId(0));
         assert_eq!(p.hops(), 4);
     }
 
@@ -197,7 +198,7 @@ mod tests {
         // Hosts in different pods: 6 hops via core.
         let mut used_cores = std::collections::HashSet::new();
         for f in 0..64 {
-            let p = t.net.resolve_path(t.hosts[0], t.hosts[8], FlowId(f));
+            let p = t.routes.resolve_path(t.hosts[0], t.hosts[8], FlowId(f));
             assert_eq!(p.hops(), 6);
             // Middle link's endpoint is the core switch.
             let mid = p.links[2];
@@ -231,7 +232,7 @@ mod tests {
         let mut used_cores = std::collections::HashSet::new();
         for f in 0..256 {
             // Hosts 0 and 100 live in different pods (16 hosts per pod).
-            let p = t.net.resolve_path(t.hosts[0], t.hosts[100], FlowId(f));
+            let p = t.routes.resolve_path(t.hosts[0], t.hosts[100], FlowId(f));
             assert_eq!(p.hops(), 6);
             used_cores.insert(t.net.links[p.links[2].0 as usize].from);
         }

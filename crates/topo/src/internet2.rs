@@ -145,9 +145,10 @@ pub fn build(cfg: &I2Config, level: TraceLevel) -> Topology {
         cfg.host_prop,
     );
 
-    net.compute_routes();
+    let routes = net.compute_routes();
     let topo = Topology {
         net,
+        routes,
         name: cfg.variant.label().to_string(),
         hosts,
         core_links,
@@ -201,7 +202,7 @@ mod tests {
         for &a in &t.hosts {
             for &b in &t.hosts {
                 if a != b {
-                    lens.push(t.net.resolve_path(a, b, FlowId(1)).hops());
+                    lens.push(t.routes.resolve_path(a, b, FlowId(1)).hops());
                 }
             }
         }

@@ -33,7 +33,8 @@ pub mod internet2;
 pub mod rocketfuel;
 pub mod simple;
 
-use ups_net::{LinkId, Network, NodeId, TraceLevel};
+use std::sync::Arc;
+use ups_net::{LinkId, Network, NodeId, RoutingTable, TraceLevel};
 use ups_sim::Bandwidth;
 
 /// Which tier a link belongs to (both directions classified the same).
@@ -52,6 +53,9 @@ pub enum LinkTier {
 pub struct Topology {
     /// The wired network with routes computed (schedulers still FIFO).
     pub net: Network,
+    /// The frozen routing table from the builder's `compute_routes()` —
+    /// injection and workload calibration resolve paths through this.
+    pub routes: Arc<RoutingTable>,
     /// Human-readable name, e.g. `"I2:1Gbps-10Gbps"`.
     pub name: String,
     /// All end hosts.
@@ -96,7 +100,7 @@ impl Topology {
         // Reachability spot check: first host can reach every other host.
         if let (Some(&a), true) = (self.hosts.first(), self.hosts.len() > 1) {
             for &b in &self.hosts[1..] {
-                let p = self.net.resolve_path(a, b, ups_net::FlowId(0));
+                let p = self.routes.resolve_path(a, b, ups_net::FlowId(0));
                 assert!(p.hops() >= 2, "degenerate path {a:?}->{b:?}");
             }
         }

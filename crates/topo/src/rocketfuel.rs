@@ -158,9 +158,10 @@ pub fn build(cfg: &RocketFuelConfig, level: TraceLevel) -> Topology {
         Dur::from_micros(5),
     );
 
-    net.compute_routes();
+    let routes = net.compute_routes();
     let topo = Topology {
         net,
+        routes,
         name: format!("RocketFuel({}r/{}l)", cfg.routers, cfg.links),
         hosts,
         core_links,

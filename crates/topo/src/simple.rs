@@ -39,9 +39,10 @@ pub fn dumbbell(
         host_links.extend([l1, l2]);
         hosts.push(d);
     }
-    net.compute_routes();
+    let routes = net.compute_routes();
     let topo = Topology {
         net,
+        routes,
         name: format!("Dumbbell(n={n})"),
         hosts,
         core_links: vec![c1, c2],
@@ -73,9 +74,10 @@ pub fn line(routers: usize, bw: Bandwidth, prop: Dur, level: TraceLevel) -> Topo
     let (l1, l2) = net.add_duplex(*rs.last().unwrap(), h1, bw, prop);
     host_links.extend([l1, l2]);
 
-    net.compute_routes();
+    let routes = net.compute_routes();
     let topo = Topology {
         net,
+        routes,
         name: format!("Line(r={routers})"),
         hosts: vec![h0, h1],
         core_links: if core_links.is_empty() {
@@ -104,9 +106,10 @@ pub fn star(n: usize, bw: Bandwidth, prop: Dur, level: TraceLevel) -> Topology {
         host_links.extend([l1, l2]);
         hosts.push(h);
     }
-    net.compute_routes();
+    let routes = net.compute_routes();
     Topology {
         net,
+        routes,
         name: format!("Star(n={n})"),
         hosts,
         core_links: host_links.clone(),
@@ -130,7 +133,7 @@ mod tests {
             TraceLevel::Off,
         );
         assert_eq!(t.hosts.len(), 6);
-        let p = t.net.resolve_path(t.hosts[0], t.hosts[3], FlowId(0));
+        let p = t.routes.resolve_path(t.hosts[0], t.hosts[3], FlowId(0));
         assert_eq!(p.hops(), 3);
         assert_eq!(p.bottleneck(), Bandwidth::gbps(1));
     }
@@ -138,7 +141,7 @@ mod tests {
     #[test]
     fn line_has_expected_length() {
         let t = line(4, Bandwidth::gbps(1), Dur::ZERO, TraceLevel::Off);
-        let p = t.net.resolve_path(t.hosts[0], t.hosts[1], FlowId(0));
+        let p = t.routes.resolve_path(t.hosts[0], t.hosts[1], FlowId(0));
         assert_eq!(p.hops(), 5);
     }
 
@@ -146,7 +149,7 @@ mod tests {
     fn star_pairs_are_two_hops() {
         let t = star(5, Bandwidth::gbps(1), Dur::ZERO, TraceLevel::Off);
         for &b in &t.hosts[1..] {
-            let p = t.net.resolve_path(t.hosts[0], b, FlowId(0));
+            let p = t.routes.resolve_path(t.hosts[0], b, FlowId(0));
             assert_eq!(p.hops(), 2);
         }
     }

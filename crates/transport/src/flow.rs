@@ -1,7 +1,7 @@
 //! Transport-level flow descriptors and completion results.
 
 use ups_net::{FlowId, NodeId};
-use ups_sim::Time;
+use ups_sim::{Dur, Time};
 
 /// Flag bit distinguishing ACK "flows" from data flows in telemetry:
 /// acknowledgements share the flow's identity but travel the reverse
@@ -36,6 +36,12 @@ pub struct FlowDesc {
     pub pkts: u64,
     /// Time the application opens the flow.
     pub start: Time,
+    /// Completion deadline relative to `start`, for deadline-tagged
+    /// traffic classes. When present, open-loop injection initializes
+    /// each packet's header slack from the time budget actually left
+    /// (deadline minus pacing offset minus minimum remaining transit),
+    /// so EDF/LSTF see the real deadline instead of a heuristic stamp.
+    pub deadline: Option<Dur>,
 }
 
 /// Completion record for one flow.

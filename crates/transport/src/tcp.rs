@@ -116,7 +116,7 @@ fn rto_timer_id(f: FlowId) -> u64 {
 
 impl TcpHost {
     fn open(&mut self, net: &mut Network, desc: FlowDesc) {
-        let path = net.resolve_path(desc.src, desc.dst, desc.id);
+        let path = net.routing().resolve_path(desc.src, desc.dst, desc.id);
         let s = Sender {
             path,
             snd_una: 0,
@@ -305,7 +305,7 @@ impl TcpHost {
         let ack_bytes = self.cfg.ack_bytes;
         let r = self.receivers.entry(flow).or_insert_with(|| Receiver {
             src: pkt.src,
-            reverse_path: net.resolve_path(node, pkt.src, flow),
+            reverse_path: net.routing().resolve_path(node, pkt.src, flow),
             next_expected: 0,
             out_of_order: BTreeSet::new(),
             acks_sent: 0,
@@ -426,7 +426,8 @@ mod tests {
             TraceLevel::Delivery,
         );
         let flows = make_flows(&topo);
-        topo.net.set_all_buffers(buffer);
+        topo.net
+            .configure_links(|_| ups_net::LinkPolicy::keep().buffer(buffer));
         let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), || {
             HeaderStamper::new(SlackPolicy::None, PrioPolicy::None)
         });
@@ -443,6 +444,7 @@ mod tests {
             dst,
             pkts,
             start,
+            deadline: None,
         }
     }
 

@@ -12,23 +12,34 @@
 use crate::flow::FlowDesc;
 use crate::header::HeaderStamper;
 use std::sync::Arc;
-use ups_net::{Network, PacketKind, SchedHeader};
+use ups_net::{Network, PacketKind, RoutingTable, SchedHeader};
 
 /// Inject every packet of every flow, paced at the flow's first-hop
-/// (host NIC) line rate, stamping headers with `stamper`. `wire_bytes`
-/// is the on-the-wire packet size (MTU).
+/// (host NIC) line rate, stamping headers with `stamper`. Paths resolve
+/// through the `routes` handle from `compute_routes()`. `wire_bytes` is
+/// the on-the-wire packet size (MTU).
+///
+/// Flows carrying a [`FlowDesc::deadline`] override the stamper's slack
+/// policy: packet `k` (paced `k` serialization times after the flow
+/// start) gets `slack = max(0, deadline − k·pace − tmin(path))` — the
+/// true time budget EDF/LSTF can spend queueing it.
 pub fn inject_udp_flows(
     net: &mut Network,
+    routes: &RoutingTable,
     flows: &[FlowDesc],
     wire_bytes: u32,
     stamper: &mut HeaderStamper,
 ) {
     for f in flows {
-        let path = net.resolve_path(f.src, f.dst, f.id);
+        let path = routes.resolve_path(f.src, f.dst, f.id);
         let pace = path.bw[0].tx_time(wire_bytes);
+        let tmin = path.tmin(wire_bytes);
         for seq in 0..f.pkts {
             let at = f.start + pace * seq;
-            let hdr = stamper.stamp_data(f.id, f.pkts, f.pkts - seq, wire_bytes, at);
+            let mut hdr = stamper.stamp_data(f.id, f.pkts, f.pkts - seq, wire_bytes, at);
+            if let Some(deadline) = f.deadline {
+                hdr.slack = (deadline.as_i64() - (pace * seq).as_i64() - tmin.as_i64()).max(0);
+            }
             net.inject_on_path(
                 at,
                 f.id,
@@ -111,9 +122,11 @@ mod tests {
             dst: topo.hosts[1],
             pkts: 5,
             start: Time::ZERO,
+            deadline: None,
         }];
         let mut st = HeaderStamper::new(SlackPolicy::None, PrioPolicy::None);
-        inject_udp_flows(&mut topo.net, &flows, 1500, &mut st);
+        let routes = topo.routes.clone();
+        inject_udp_flows(&mut topo.net, &routes, &flows, 1500, &mut st);
         topo.net.run_to_completion();
         assert_eq!(topo.net.telemetry.counters.delivered, 5);
         // Deliveries spaced exactly one transmission time apart.

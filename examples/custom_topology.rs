@@ -40,9 +40,10 @@ fn leaf_spine() -> Topology {
             hosts.push(host);
         }
     }
-    net.compute_routes();
+    let routes = net.compute_routes();
     let topo = Topology {
         net,
+        routes,
         name: "LeafSpine(2x4)".into(),
         hosts,
         core_links,
@@ -64,7 +65,8 @@ fn main() {
     );
 
     // LSTF on every port; a 60%-utilization Poisson workload.
-    topo.net.set_all_schedulers(|_| Box::new(lstf()));
+    topo.net
+        .configure_links(|_| ups_net::LinkPolicy::keep().scheduler(Box::new(lstf())));
     let flows = to_flow_descs(&poisson_workload(
         &topo,
         &PoissonConfig {
@@ -75,7 +77,13 @@ fn main() {
         },
     ));
     let mut stamper = HeaderStamper::zero();
-    inject_udp_flows(&mut topo.net, &flows, 1500, &mut stamper);
+    inject_udp_flows(
+        &mut topo.net,
+        &std::sync::Arc::clone(&topo.routes),
+        &flows,
+        1500,
+        &mut stamper,
+    );
     let end = topo.net.run_to_completion();
 
     println!(

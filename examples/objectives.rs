@@ -36,6 +36,7 @@ fn main() {
             dst: t.hosts[8 + i as usize],
             pkts: if i < 2 { 20 } else { 500 },
             start: Time::ZERO,
+            deadline: None,
         })
         .collect();
     println!("== mean FCT (two 20-packet mice vs six 500-packet elephants) ==");
@@ -71,6 +72,7 @@ fn main() {
             dst: t.hosts[8 + (i as usize + 1) % 8],
             pkts: 200,
             start: Time::from_micros(11 * i),
+            deadline: None,
         })
         .collect();
     println!("\n== tail packet delay (UDP, identical load) ==");
@@ -100,6 +102,7 @@ fn main() {
             dst: t.hosts[8 + i as usize],
             pkts: u64::MAX / 2,
             start: Time::from_micros(40 * i),
+            deadline: None,
         })
         .collect();
     println!("\n== fairness (8 long-lived TCP flows share 1 Gbps) ==");

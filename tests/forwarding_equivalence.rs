@@ -1,0 +1,254 @@
+//! Equivalence and ordering guarantees of the forwarding hot path.
+//!
+//! Three contracts from the hot-path redesign, checked end-to-end:
+//!
+//! * the frozen [`RoutingTable`] resolves byte-identical paths to the
+//!   legacy per-hop [`NextHop::pick`] walk, on random connected
+//!   topologies and random flow ids;
+//! * batched same-instant drain produces bit-identical telemetry to the
+//!   single-event reference mode (`set_batched_drain(false)`);
+//! * a deadline-tagged flow ([`FlowDesc::deadline`]) is served ahead of
+//!   best-effort traffic under LSTF, because open-loop injection
+//!   initializes its header slack from the real remaining time budget.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use ups::net::{FlowId, LinkPolicy, Network, NodeId, RoutingTable, TraceLevel};
+use ups::sched::lstf;
+use ups::sim::{Bandwidth, Dur, Time};
+use ups::topo::simple::dumbbell;
+use ups::transport::flow::FlowDesc;
+use ups::transport::header::{HeaderStamper, PrioPolicy, SlackPolicy};
+use ups::transport::udp::inject_udp_flows;
+
+/// SplitMix64 step — a tiny deterministic generator so one `u64` seed
+/// expands into a whole random topology.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build a random connected topology: a random spanning tree over `n`
+/// routers plus `extra` random duplex links (parallel links allowed —
+/// they form equal-cost sets).
+fn random_connected(n: u32, extra: u32, seed: u64) -> Network {
+    let mut s = seed;
+    let mut net = Network::new(TraceLevel::Off);
+    let bws = [Bandwidth::gbps(1), Bandwidth::gbps(10), Bandwidth::gbps(40)];
+    let props = [
+        Dur::from_micros(1),
+        Dur::from_micros(5),
+        Dur::from_micros(10),
+    ];
+    for i in 0..n {
+        net.add_router(format!("r{i}"));
+    }
+    for i in 1..n {
+        let parent = NodeId((mix(&mut s) % i as u64) as u32);
+        let bw = bws[(mix(&mut s) % 3) as usize];
+        let prop = props[(mix(&mut s) % 3) as usize];
+        net.add_duplex(NodeId(i), parent, bw, prop);
+    }
+    for _ in 0..extra {
+        let a = NodeId((mix(&mut s) % n as u64) as u32);
+        let b = NodeId((mix(&mut s) % n as u64) as u32);
+        if a == b {
+            continue;
+        }
+        let bw = bws[(mix(&mut s) % 3) as usize];
+        let prop = props[(mix(&mut s) % 3) as usize];
+        net.add_duplex(a, b, bw, prop);
+    }
+    net
+}
+
+/// The pre-freeze reference: walk the per-node `NextHop` tables hop by
+/// hop, re-picking the ECMP member at every node as the old forwarding
+/// path did.
+fn legacy_walk(net: &Network, src: NodeId, dst: NodeId, flow: FlowId) -> Vec<u32> {
+    let mut links = Vec::new();
+    let mut at = src;
+    while at != dst {
+        let hop = net.nodes[at.0 as usize].routes[dst.0 as usize]
+            .pick(flow)
+            .unwrap_or_else(|| panic!("no route {at:?} -> {dst:?}"));
+        links.push(hop.0);
+        at = net.links[hop.0 as usize].to;
+        assert!(links.len() <= 64, "routing loop");
+    }
+    links
+}
+
+/// Run the dumbbell contention workload and return its telemetry as
+/// comparable records: per-packet identity, timing, and fate.
+type PacketOutcome = (u64, u64, u64, Option<u64>, bool);
+
+fn run_dumbbell(
+    flows: &[FlowDesc],
+    batched: bool,
+    buffer: Option<u64>,
+) -> (Vec<PacketOutcome>, u64, u64) {
+    let mut topo = dumbbell(
+        2,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(1),
+        Dur::from_micros(5),
+        TraceLevel::Hops,
+    );
+    // LSTF everywhere with a finite shared buffer, so the batch path
+    // exercises ordered insertion, drop-worst eviction, and preemption
+    // urgency — not just FIFO admission.
+    topo.net.configure_links(|_| {
+        LinkPolicy::keep()
+            .scheduler(Box::new(lstf()))
+            .buffer(buffer)
+    });
+    topo.net.set_batched_drain(batched);
+    let mut st = HeaderStamper::new(
+        SlackPolicy::Constant {
+            slack: Dur::from_millis(1),
+        },
+        PrioPolicy::None,
+    );
+    let routes = topo.routes.clone();
+    inject_udp_flows(&mut topo.net, &routes, flows, 1500, &mut st);
+    topo.net.run_to_completion();
+    let recs = topo
+        .net
+        .telemetry
+        .packets
+        .iter()
+        .map(|r| {
+            (
+                r.flow.0,
+                r.seq,
+                r.created.as_ps(),
+                r.delivered.map(|t| t.as_ps()),
+                r.dropped,
+            )
+        })
+        .collect();
+    let c = &topo.net.telemetry.counters;
+    (recs, c.delivered, c.dropped)
+}
+
+/// Dumbbell flows: hosts[0], hosts[1] send to hosts[2], hosts[3]; the
+/// generated `(pkts, start_us, deadline_us)` triples shape contention.
+fn dumbbell_flows(specs: &[(u64, u64, u64)]) -> Vec<FlowDesc> {
+    let hosts = [NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(pkts, start_us, deadline_us))| FlowDesc {
+            id: FlowId(i as u64),
+            src: hosts[i % 2],
+            dst: hosts[2 + (i % 2)],
+            pkts: pkts.max(1),
+            start: Time::from_micros(start_us),
+            deadline: (deadline_us > 0).then(|| Dur::from_micros(deadline_us)),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The frozen flat table and the legacy per-hop pick walk resolve the
+    /// same links, bandwidths, and delays for every (src, dst, flow).
+    #[test]
+    fn routing_table_matches_legacy_walk(
+        n in 3u32..12,
+        extra in 0u32..12,
+        seed in 0u64..u64::MAX,
+        flows in prop::collection::vec(0u64..u64::MAX, 1..16),
+    ) {
+        let mut net = random_connected(n, extra, seed);
+        let table: Arc<RoutingTable> = net.compute_routes();
+        for &f in &flows {
+            let src = NodeId((f % n as u64) as u32);
+            let dst = NodeId((f / 7 % n as u64) as u32);
+            if src == dst {
+                continue;
+            }
+            let path = table.resolve_path(src, dst, FlowId(f));
+            let want = legacy_walk(&net, src, dst, FlowId(f));
+            let got: Vec<u32> = path.links.iter().map(|l| l.0).collect();
+            prop_assert_eq!(&got, &want, "paths diverge for flow {}", f);
+            for (k, &lid) in path.links.iter().enumerate() {
+                let l = &net.links[lid.0 as usize];
+                prop_assert_eq!(path.bw[k], l.bw);
+                prop_assert_eq!(path.prop[k], l.prop);
+            }
+        }
+    }
+
+    /// Batched same-instant drain is bit-identical to the single-event
+    /// reference loop: same deliveries, same drops, same timestamps.
+    #[test]
+    fn batched_drain_matches_single_stepping(
+        specs in prop::collection::vec((1u64..25, 0u64..30, 0u64..600), 1..6),
+    ) {
+        let flows = dumbbell_flows(&specs);
+        // A finite shared buffer makes the workload exercise drop-worst
+        // eviction, not just admission.
+        let (batched, bd, bx) = run_dumbbell(&flows, true, Some(30_000));
+        let (single, sd, sx) = run_dumbbell(&flows, false, Some(30_000));
+        prop_assert_eq!((bd, bx), (sd, sx), "counters diverge");
+        prop_assert_eq!(batched, single, "per-packet telemetry diverges");
+    }
+}
+
+/// A deadline-tagged flow is served ahead of best-effort traffic under
+/// LSTF: injection stamps its slack with the remaining time budget
+/// (deadline − pacing offset − tmin), which is far tighter than the
+/// best-effort constant, so every contended pop favors the deadline
+/// packets and the flow meets a deadline the best-effort flow misses.
+#[test]
+fn deadline_flow_preempts_best_effort_under_lstf() {
+    // Both flows offer 20 packets at t=0 into the shared 1 Gbps
+    // bottleneck (12 us per packet): 480 us of demand. The deadline
+    // flow's 300 us budget is feasible only if it wins every contended
+    // service decision.
+    let deadline = Dur::from_micros(300);
+    let flows = [
+        FlowDesc {
+            id: FlowId(0),
+            src: NodeId(2),
+            dst: NodeId(4),
+            pkts: 20,
+            start: Time::ZERO,
+            deadline: None,
+        },
+        FlowDesc {
+            id: FlowId(1),
+            src: NodeId(3),
+            dst: NodeId(5),
+            pkts: 20,
+            start: Time::ZERO,
+            deadline: Some(deadline),
+        },
+    ];
+    let (recs, delivered, dropped) = run_dumbbell(&flows, true, None);
+    assert_eq!((delivered, dropped), (40, 0));
+    let last = |flow: u64| {
+        recs.iter()
+            .filter(|r| r.0 == flow)
+            .map(|r| r.3.expect("delivered"))
+            .max()
+            .unwrap()
+    };
+    let deadline_done = last(1);
+    let best_effort_done = last(0);
+    assert!(
+        deadline_done <= deadline.as_ps(),
+        "deadline flow finished at {deadline_done} ps, budget {} ps",
+        deadline.as_ps()
+    );
+    assert!(
+        deadline_done < best_effort_done,
+        "deadline flow ({deadline_done} ps) did not beat best-effort ({best_effort_done} ps)"
+    );
+}

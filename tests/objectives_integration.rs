@@ -30,6 +30,7 @@ fn mice_and_elephants(t: &Topology) -> Vec<FlowDesc> {
             dst: t.hosts[8 + i as usize],
             pkts: if i < 3 { 20 } else { 400 },
             start: Time::ZERO,
+            deadline: None,
         })
         .collect()
 }
@@ -107,6 +108,7 @@ fn tail_delay_pipeline_is_load_invariant_across_schemes() {
             dst: t.hosts[8 + (i as usize + 3) % 8],
             pkts: 150,
             start: Time::from_micros(7 * i),
+            deadline: None,
         })
         .collect();
     let fifo = run_tail_delays(topo(), &flows, &Scheme::Fifo, 1500, None);
@@ -138,6 +140,7 @@ fn fairness_converges_for_any_rest_below_fair_share() {
             dst: t.hosts[8 + i as usize],
             pkts: u64::MAX / 2,
             start: Time::from_micros(17 * i),
+            deadline: None,
         })
         .collect();
     for rest_mbps in [100, 10, 1] {
@@ -170,6 +173,7 @@ fn weighted_fairness_splits_in_proportion() {
             dst: t.hosts[8 + i as usize],
             pkts: u64::MAX / 2,
             start: Time::from_micros(13 * i),
+            deadline: None,
         })
         .collect();
     let mut weights = HashMap::new();

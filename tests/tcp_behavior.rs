@@ -27,9 +27,11 @@ fn goodput_never_exceeds_bottleneck_capacity() {
             dst: topo.hosts[4 + i as usize],
             pkts: u64::MAX / 2,
             start: Time::ZERO,
+            deadline: None,
         })
         .collect();
-    topo.net.set_all_buffers(Some(1_000_000));
+    topo.net
+        .configure_links(|_| ups::net::LinkPolicy::keep().buffer(Some(1_000_000)));
     install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
     let horizon = Time::from_millis(20);
     topo.net.run_until(horizon);
@@ -72,9 +74,11 @@ fn recovers_from_severe_buffer_pressure() {
             dst: topo.hosts[4 + i as usize],
             pkts: 300,
             start: Time::from_micros(5 * i),
+            deadline: None,
         })
         .collect();
-    topo.net.set_all_buffers(Some(15_000));
+    topo.net
+        .configure_links(|_| ups::net::LinkPolicy::keep().buffer(Some(15_000)));
     let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
     topo.net.run_until(Time::from_secs(20));
     let res = results.lock().unwrap();
@@ -110,6 +114,7 @@ fn longer_paths_finish_later_for_equal_windows() {
             dst: topo.hosts[1],
             pkts: 200,
             start: Time::ZERO,
+            deadline: None,
         }];
         let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
         topo.net.run_until(Time::from_secs(5));
@@ -139,6 +144,7 @@ fn ack_streams_are_flagged_and_excluded_from_goodput() {
         dst: topo.hosts[1],
         pkts: 50,
         start: Time::ZERO,
+        deadline: None,
     }];
     install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
     topo.net.run_until(Time::from_secs(2));
@@ -175,9 +181,11 @@ fn deterministic_tcp_runs() {
                 dst: topo.hosts[2 + i as usize],
                 pkts: 200,
                 start: Time::from_micros(3 * i),
+                deadline: None,
             })
             .collect();
-        topo.net.set_all_buffers(Some(60_000));
+        topo.net
+            .configure_links(|_| ups::net::LinkPolicy::keep().buffer(Some(60_000)));
         let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
         topo.net.run_until(Time::from_secs(5));
         let r = results.lock().unwrap();
