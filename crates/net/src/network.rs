@@ -53,6 +53,7 @@ use crate::scheduler::Scheduler;
 use crate::slab::{PacketRef, PacketSlab};
 use crate::trace::{HopTimes, Telemetry, TraceLevel};
 use std::sync::Arc;
+use ups_obs::{NetSeries, SamplePoint};
 use ups_sim::{Bandwidth, Dur, EventQueue, Time};
 
 /// Simulation events, in same-instant ordering-class order: arrivals
@@ -75,6 +76,8 @@ enum Ev {
     TxDone { link: LinkId, gen: u64 },
     /// Deferred transmission-start decision for `link`.
     StartTx { link: LinkId },
+    /// Telemetry sampling tick (see [`Network::enable_sampling`]).
+    Observe,
 }
 
 /// Event ordering classes (see [`Ev`]). Infinite-bandwidth "wire" links
@@ -87,6 +90,11 @@ mod class {
     pub const TX_DONE: u8 = 2;
     pub const START_WIRE: u8 = 3;
     pub const START_TX: u8 = 4;
+    /// Telemetry sampling pops *after every data-plane class* at an
+    /// instant, so an observation sees the settled state of time `t`
+    /// and can never reorder data-plane pops — the invariant that keeps
+    /// artifacts byte-identical with sampling on.
+    pub const OBSERVE: u8 = 5;
 }
 
 /// An application endpoint attached to a host node.
@@ -190,12 +198,22 @@ pub struct Network {
     gen_scratch: Vec<u64>,
     /// Scratch marking arrivals already claimed by an earlier run.
     used_scratch: Vec<bool>,
+    /// Deterministic state sampler, when enabled (see
+    /// [`Network::enable_sampling`]). Sampling is read-only over links
+    /// and the packet arena — it mutates no data-plane state and is not
+    /// counted in [`Counters::events`](crate::Counters).
+    sampler: Option<NetSeries>,
 }
 
 impl Network {
     /// Create an empty network recording at the given level.
+    ///
+    /// If a process-wide sampling cadence is set
+    /// ([`ups_obs::set_sample_interval`]), sampling starts enabled at
+    /// that cadence — this is how the sweep engine's pooled workers pick
+    /// up `--telemetry` without any runner plumbing.
     pub fn new(level: TraceLevel) -> Network {
-        Network {
+        let mut net = Network {
             nodes: Vec::new(),
             links: Vec::new(),
             telemetry: Telemetry::new(level),
@@ -211,7 +229,12 @@ impl Network {
             run_scratch: Vec::new(),
             gen_scratch: Vec::new(),
             used_scratch: Vec::new(),
+            sampler: None,
+        };
+        if let Some(interval) = ups_obs::sample_interval() {
+            net.enable_sampling(interval);
         }
+        net
     }
 
     // ------------------------------------------------------------------
@@ -534,6 +557,12 @@ impl Network {
         let Some((now, ev)) = self.queue.pop() else {
             return false;
         };
+        if matches!(ev, Ev::Observe) {
+            // Pure observation: sample, maybe reschedule, and leave the
+            // data plane — including the event counter — untouched.
+            self.observe(now);
+            return true;
+        }
         self.telemetry.counters.events += 1;
         match ev {
             Ev::Arrive { node, pkt } => {
@@ -605,6 +634,7 @@ impl Network {
             }
             Ev::Timer { node, id } => self.dispatch_timer(node, id),
             Ev::StartTx { link } => self.handle_start_tx(link, now),
+            Ev::Observe => unreachable!("handled before dispatch"),
         }
         // Cache-warm the state the *next* pending event will touch while
         // this step's stores are still retiring: packets are accessed
@@ -618,6 +648,74 @@ impl Network {
             }
         }
         true
+    }
+
+    /// Enable deterministic state sampling at the given cadence
+    /// (`interval > 0`): every `interval` of simulated time an
+    /// observation event — ordered *after* every data-plane event class
+    /// at its instant — records aggregate queue depth, link busy time,
+    /// and in-flight population into a [`NetSeries`]. Sampling is
+    /// strictly read-only, so all simulation outcomes are bit-identical
+    /// with it on or off; it self-terminates when the event queue
+    /// drains, so `run_to_completion` still ends. No-op when `ups-obs`
+    /// is compiled with its `off` feature.
+    pub fn enable_sampling(&mut self, interval: Dur) {
+        assert!(interval > Dur::ZERO, "sampling interval must be positive");
+        if !ups_obs::COMPILED {
+            return;
+        }
+        if self.sampler.is_none() {
+            self.queue
+                .push(self.queue.now() + interval, class::OBSERVE, Ev::Observe);
+        }
+        self.sampler = Some(NetSeries::new(interval, 0));
+    }
+
+    /// Harvest the sampled series and disable further sampling. `None`
+    /// when sampling was never enabled.
+    pub fn take_series(&mut self) -> Option<NetSeries> {
+        self.sampler.take().map(|mut s| {
+            s.links = self.links.len() as u64;
+            s
+        })
+    }
+
+    /// Handle one observation tick: sample aggregate network state and
+    /// reschedule while any data-plane work remains.
+    fn observe(&mut self, now: Time) {
+        let Some(series) = self.sampler.as_mut() else {
+            // Sampling was disabled (series harvested) with a tick still
+            // in flight: let the chain die.
+            return;
+        };
+        let mut queued_pkts = 0u64;
+        let mut queued_bytes = 0u64;
+        let mut max_queue_pkts = 0u64;
+        let mut busy_links = 0u64;
+        let mut busy_ps_total = 0u64;
+        for l in &self.links {
+            let q = l.queue_len() as u64;
+            queued_pkts += q;
+            queued_bytes += l.queued_bytes();
+            max_queue_pkts = max_queue_pkts.max(q);
+            busy_links += l.is_busy() as u64;
+            busy_ps_total += l.stats.busy.as_ps();
+        }
+        series.samples.push(SamplePoint {
+            t: now,
+            queued_pkts,
+            queued_bytes,
+            max_queue_pkts,
+            busy_links,
+            in_flight: self.slab.len() as u64,
+            busy_ps_total,
+        });
+        // Reschedule only while other events remain: the sampler must
+        // never keep an otherwise-finished simulation alive.
+        if !self.queue.is_empty() {
+            let interval = series.interval;
+            self.queue.push(now + interval, class::OBSERVE, Ev::Observe);
+        }
     }
 
     /// Run until the event queue drains or the next event is after
@@ -793,17 +891,16 @@ impl Network {
         inline: bool,
     ) {
         for dropped in actions.dropped {
-            self.telemetry.on_drop(&dropped);
+            self.telemetry.on_drop(&dropped, now, lid.0);
         }
         if let Some(pkt) = actions.completed {
-            self.telemetry.on_hop(
-                pkt.id,
-                HopTimes {
-                    arrive: pkt.hop_arrive,
-                    tx_start: pkt.hop_first_tx,
-                    tx_end: now,
-                },
-            );
+            let times = HopTimes {
+                arrive: pkt.hop_arrive,
+                tx_start: pkt.hop_first_tx,
+                tx_end: now,
+            };
+            self.telemetry.on_hop(pkt.id, times);
+            self.telemetry.on_hop_lifecycle(&pkt, lid.0, times);
             let to = self.links[lid.0 as usize].to;
             let prop = self.links[lid.0 as usize].prop;
             let pkt = self.slab.insert(pkt);
@@ -1078,6 +1175,105 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// Sampling is pure observation: enabling it changes no delivery
+    /// time, no counter, and no per-packet record — and the sampler
+    /// self-terminates, so the run still completes.
+    #[test]
+    fn sampling_never_perturbs_outcomes() {
+        let run = |sample: bool| {
+            let (mut net, rt, h0, h1) = line();
+            if sample {
+                net.enable_sampling(Dur::from_micros(7));
+            }
+            for s in 0..40 {
+                net.inject(
+                    &rt,
+                    Time::from_nanos(311 * s),
+                    FlowId(s % 2),
+                    s,
+                    1500,
+                    h0,
+                    h1,
+                    SchedHeader::default(),
+                    PacketKind::Data { bytes: 1460 },
+                );
+            }
+            net.run_to_completion();
+            let outcomes: Vec<_> = net
+                .telemetry
+                .packets
+                .iter()
+                .map(|p| (p.delivered.map(|t| t.as_ps()), p.total_qdelay().as_ps()))
+                .collect();
+            (outcomes, net.telemetry.counters.events, net.take_series())
+        };
+        let (plain, plain_events, no_series) = run(false);
+        let (sampled, sampled_events, series) = run(true);
+        assert_eq!(plain, sampled, "sampling changed packet outcomes");
+        assert_eq!(
+            plain_events, sampled_events,
+            "sampling leaked into the event counter"
+        );
+        assert!(no_series.is_none());
+        if ups_obs::COMPILED {
+            let series = series.expect("sampling was enabled");
+            assert!(!series.samples.is_empty());
+            assert_eq!(series.links, 4, "line() has two duplex links");
+            // Samples are strictly ordered and on the cadence grid.
+            for w in series.samples.windows(2) {
+                assert!(w[0].t < w[1].t);
+            }
+            assert!(series
+                .samples
+                .iter()
+                .all(|s| s.t.as_ps() % Dur::from_micros(7).as_ps() == 0));
+            // Mid-run congestion is visible: some sample saw a queue.
+            assert!(series.samples.iter().any(|s| s.queued_pkts > 0));
+        }
+    }
+
+    /// The lifecycle ring records inject/enqueue/tx-start/deliver in
+    /// timestamp-faithful form and flags deadline misses, without
+    /// changing outcomes.
+    #[test]
+    fn lifecycle_ring_records_packet_story() {
+        let (mut net, rt, h0, h1) = line();
+        net.telemetry.enable_lifecycle(256);
+        // Flow 0 gets an absurdly tight absolute deadline, so its
+        // deliveries must all be recorded as misses.
+        net.telemetry.set_flow_deadlines(vec![(0, 1_000)]);
+        for s in 0..4 {
+            net.inject(
+                &rt,
+                Time::ZERO,
+                FlowId(s % 2),
+                s,
+                1500,
+                h0,
+                h1,
+                SchedHeader::default(),
+                PacketKind::Data { bytes: 1460 },
+            );
+        }
+        net.run_to_completion();
+        assert_eq!(net.telemetry.counters.delivered, 4);
+        if !ups_obs::COMPILED {
+            return;
+        }
+        let ring = net.telemetry.lifecycle.as_ref().unwrap();
+        let count = |kind: ups_obs::LifeKind| ring.iter().filter(|e| e.kind == kind).count();
+        assert_eq!(count(ups_obs::LifeKind::Inject), 4);
+        assert_eq!(count(ups_obs::LifeKind::Deliver), 4);
+        // 2 hops per packet.
+        assert_eq!(count(ups_obs::LifeKind::Enqueue), 8);
+        assert_eq!(count(ups_obs::LifeKind::TxStart), 8);
+        // Only flow 0's two packets miss the 1 ns deadline.
+        assert_eq!(count(ups_obs::LifeKind::DeadlineMiss), 2);
+        let jsonl = ring.to_jsonl();
+        assert_eq!(jsonl.lines().count(), ring.len());
+        assert!(jsonl.contains("\"kind\":\"deadline_miss\""));
     }
 
     #[test]

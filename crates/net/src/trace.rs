@@ -8,6 +8,7 @@
 
 use crate::packet::{FlowId, NodeId, Packet, PacketId, Path};
 use std::sync::Arc;
+use ups_obs::{LifeEvent, LifeKind, LifecycleRing};
 use ups_sim::{Dur, Time};
 
 /// How much to record.
@@ -125,6 +126,14 @@ pub struct Telemetry {
     pub counters: Counters,
     /// Per-packet records, indexed by `PacketId` (dense).
     pub packets: Vec<PacketRecord>,
+    /// Bounded lifecycle trace ring, when enabled (see
+    /// [`Telemetry::enable_lifecycle`]). `None` — the default — keeps
+    /// every hook below to a single branch.
+    pub lifecycle: Option<LifecycleRing>,
+    /// Absolute flow deadlines `(flow, deadline_ps)`, sorted by flow,
+    /// consulted for deadline-miss lifecycle events. Only populated by
+    /// [`Telemetry::set_flow_deadlines`].
+    flow_deadlines: Vec<(u64, u64)>,
 }
 
 impl Telemetry {
@@ -136,9 +145,41 @@ impl Telemetry {
         }
     }
 
+    /// Keep a bounded ring of the most recent `cap` packet lifecycle
+    /// events (inject, enqueue, tx-start, deliver, drop, deadline-miss),
+    /// exportable with [`LifecycleRing::to_jsonl`]. Off by default; the
+    /// ring is pure observation and never changes simulation outcomes.
+    pub fn enable_lifecycle(&mut self, cap: usize) {
+        self.lifecycle = Some(LifecycleRing::new(cap));
+    }
+
+    /// Register absolute flow deadlines (`(flow, deadline_ps)`): a
+    /// delivery after its flow's deadline additionally records a
+    /// [`LifeKind::DeadlineMiss`] event in the lifecycle ring.
+    pub fn set_flow_deadlines(&mut self, mut deadlines: Vec<(u64, u64)>) {
+        deadlines.sort_unstable();
+        self.flow_deadlines = deadlines;
+    }
+
+    #[inline]
+    fn life(&mut self, t: Time, kind: LifeKind, pkt: &Packet, loc: u32) {
+        if let Some(ring) = self.lifecycle.as_mut() {
+            ring.push(LifeEvent {
+                t,
+                kind,
+                flow: pkt.flow.0,
+                seq: pkt.seq,
+                loc,
+            });
+        }
+    }
+
     /// Record a packet injection; id must be dense and sequential.
     pub fn on_inject(&mut self, pkt: &Packet) {
         self.counters.injected += 1;
+        if self.lifecycle.is_some() {
+            self.life(pkt.created, LifeKind::Inject, pkt, pkt.src.0);
+        }
         if self.level == TraceLevel::Off {
             return;
         }
@@ -172,6 +213,16 @@ impl Telemetry {
         self.packets[id.0 as usize].hops.push(times);
     }
 
+    /// Record queue/wire lifecycle events for a completed hop. The hop's
+    /// enqueue and tx-start become known only once it finishes, so both
+    /// are recorded here carrying their true timestamps.
+    pub fn on_hop_lifecycle(&mut self, pkt: &Packet, link: u32, times: HopTimes) {
+        if self.lifecycle.is_some() {
+            self.life(times.arrive, LifeKind::Enqueue, pkt, link);
+            self.life(times.tx_start, LifeKind::TxStart, pkt, link);
+        }
+    }
+
     /// Record final delivery.
     pub fn on_deliver(&mut self, pkt: &Packet, now: Time) {
         self.counters.delivered += 1;
@@ -179,13 +230,26 @@ impl Telemetry {
         if self.level != TraceLevel::Off {
             self.packets[pkt.id.0 as usize].delivered = Some(now);
         }
+        if self.lifecycle.is_some() {
+            self.life(now, LifeKind::Deliver, pkt, pkt.dst.0);
+            let missed = self
+                .flow_deadlines
+                .binary_search_by_key(&pkt.flow.0, |&(f, _)| f)
+                .is_ok_and(|i| now.as_ps() > self.flow_deadlines[i].1);
+            if missed {
+                self.life(now, LifeKind::DeadlineMiss, pkt, pkt.dst.0);
+            }
+        }
     }
 
-    /// Record a drop.
-    pub fn on_drop(&mut self, pkt: &Packet) {
+    /// Record a drop at a link buffer.
+    pub fn on_drop(&mut self, pkt: &Packet, now: Time, link: u32) {
         self.counters.dropped += 1;
         if self.level != TraceLevel::Off {
             self.packets[pkt.id.0 as usize].dropped = true;
+        }
+        if self.lifecycle.is_some() {
+            self.life(now, LifeKind::Drop, pkt, link);
         }
     }
 

@@ -1,0 +1,106 @@
+//! # ups-obs — the deterministic telemetry plane
+//!
+//! Observability for a deterministic simulator has one extra obligation
+//! that production telemetry does not: **observing must never change
+//! what is observed**. Every committed artifact in `baselines/` is
+//! byte-exact, so a telemetry hook that consumed a random number,
+//! reordered an event, or rounded a float differently would show up as
+//! a results regression. This crate therefore provides three surfaces
+//! that are integer-exact, allocation-free on the hot path, and
+//! no-ops when disabled:
+//!
+//! * [`Registry`] — named integer counters, gauges, and fixed
+//!   log2-bucket [`Histogram`]s with dense-index handles. Recording is
+//!   a bounds-checked array bump behind a branch on [`ObsLevel`]; with
+//!   the `off` cargo feature the bodies compile out entirely
+//!   ([`COMPILED`] is `false`). Registries merge associatively and
+//!   commutatively by name, so per-shard or per-cell registries
+//!   aggregate to the same totals in any order — the property the
+//!   parallel sweep pool needs for `--jobs`-independent artifacts.
+//! * [`NetSeries`] / [`SamplePoint`] — time-series samples of queue
+//!   depth, link utilization, and in-flight population. The *sampling
+//!   cadence* is driven by the simulation's own event wheel (see
+//!   `ups-net`'s observation event class), not wall clock, so a series
+//!   is as reproducible as the run that produced it. The process-wide
+//!   default cadence lives here ([`set_sample_interval`]) so worker
+//!   threads of a sweep pick it up without plumbing.
+//! * [`LifecycleRing`] — a bounded ring buffer of structured
+//!   packet/flow lifecycle events ([`LifeEvent`]: inject, enqueue,
+//!   tx-start, deliver, drop, deadline-miss) exportable as JSONL for
+//!   offline triage. Bounded means the hot path never allocates after
+//!   construction; the ring keeps the most recent `cap` events plus an
+//!   exact total count.
+//!
+//! The crate sits at the bottom of the workspace DAG (only `ups-sim`
+//! above it) so every layer — net, metrics, sweep, bench — can record
+//! into it without cycles.
+
+mod hist;
+mod registry;
+mod ring;
+mod series;
+
+pub use hist::Histogram;
+pub use registry::{CounterId, GaugeId, HistId, ObsLevel, Registry};
+pub use ring::{LifeEvent, LifeKind, LifecycleRing};
+pub use series::{NetSeries, SamplePoint};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use ups_sim::Dur;
+
+/// False when the `off` cargo feature compiled all recording out.
+///
+/// Recording methods check this first; because it is a `const`, an
+/// `off` build reduces them to empty inlinable bodies — the strongest
+/// form of the zero-overhead-when-off contract.
+pub const COMPILED: bool = cfg!(not(feature = "off"));
+
+/// Process-wide default sampling cadence in picoseconds; 0 = off.
+///
+/// A global (rather than a constructor argument) is deliberate: the
+/// sweep engine runs cells on pooled worker threads, and the byte-
+/// identity contract ("artifacts are identical with sampling on") is
+/// only testable if sampling can be flipped without touching any
+/// runner signature. Networks read this once at construction.
+static SAMPLE_INTERVAL_PS: AtomicU64 = AtomicU64::new(0);
+
+/// Set the process-wide default sampling cadence for networks built
+/// *after* this call. `None` (the default) disables sampling.
+///
+/// Tests that flip this global must serialize with each other; the
+/// sweep CLI sets it once before spawning workers.
+pub fn set_sample_interval(interval: Option<Dur>) {
+    let ps = match interval {
+        Some(d) if COMPILED => d.as_ps(),
+        _ => 0,
+    };
+    SAMPLE_INTERVAL_PS.store(ps, Ordering::Relaxed);
+}
+
+/// The process-wide default sampling cadence, if any.
+pub fn sample_interval() -> Option<Dur> {
+    match SAMPLE_INTERVAL_PS.load(Ordering::Relaxed) {
+        0 => None,
+        ps => Some(Dur(ps)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global is process-wide, so this test owns set/clear within
+    // one #[test] body (other tests in this crate never set it).
+    #[test]
+    fn sample_interval_round_trips() {
+        assert_eq!(sample_interval(), None);
+        set_sample_interval(Some(Dur::from_micros(250)));
+        if COMPILED {
+            assert_eq!(sample_interval(), Some(Dur::from_micros(250)));
+        } else {
+            assert_eq!(sample_interval(), None);
+        }
+        set_sample_interval(None);
+        assert_eq!(sample_interval(), None);
+    }
+}

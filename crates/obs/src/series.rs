@@ -1,0 +1,100 @@
+//! Time-series samples of network state, taken on the event wheel.
+
+use ups_sim::{Dur, Time};
+
+/// One sample of aggregate network state at a simulation instant.
+///
+/// All fields are integers read directly off the data plane — no
+/// derived floats, so a series is byte-stable and merge decisions
+/// never depend on rounding. Ratios (e.g. mean link utilization) are
+/// computed at export time from `busy_ps_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePoint {
+    /// Simulation instant of the sample.
+    pub t: Time,
+    /// Total packets queued across all links.
+    pub queued_pkts: u64,
+    /// Total bytes queued across all links.
+    pub queued_bytes: u64,
+    /// Deepest single link queue, in packets.
+    pub max_queue_pkts: u64,
+    /// Links currently serializing a packet.
+    pub busy_links: u64,
+    /// Packets alive anywhere in the network (queued or on the wire).
+    pub in_flight: u64,
+    /// Cumulative transmitter busy time summed over all links, in ps.
+    pub busy_ps_total: u64,
+}
+
+/// A deterministic time series sampled at a fixed cadence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSeries {
+    /// Sampling cadence.
+    pub interval: Dur,
+    /// Number of links in the observed network (denominator for mean
+    /// utilization).
+    pub links: u64,
+    /// Samples in strictly increasing time order.
+    pub samples: Vec<SamplePoint>,
+}
+
+impl NetSeries {
+    /// An empty series at the given cadence.
+    pub fn new(interval: Dur, links: u64) -> NetSeries {
+        NetSeries {
+            interval,
+            links,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The last sample at or before `t` (last-observation-carried-
+    /// forward), or `None` when `t` precedes the first sample.
+    pub fn at(&self, t: Time) -> Option<&SamplePoint> {
+        match self.samples.partition_point(|s| s.t <= t) {
+            0 => None,
+            i => Some(&self.samples[i - 1]),
+        }
+    }
+
+    /// Mean link utilization over `[0, t]` as seen by the sample LOCF
+    /// at `t`: total busy time / (elapsed × links).
+    pub fn mean_utilization(&self, t: Time) -> f64 {
+        let Some(s) = self.at(t) else { return 0.0 };
+        if t == Time::ZERO || self.links == 0 {
+            return 0.0;
+        }
+        s.busy_ps_total as f64 / (t.as_ps() as f64 * self.links as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(t_us: u64, queued: u64, busy_ps: u64) -> SamplePoint {
+        SamplePoint {
+            t: Time::from_micros(t_us),
+            queued_pkts: queued,
+            queued_bytes: queued * 1500,
+            max_queue_pkts: queued,
+            busy_links: (queued > 0) as u64,
+            in_flight: queued,
+            busy_ps_total: busy_ps,
+        }
+    }
+
+    #[test]
+    fn locf_lookup() {
+        let mut s = NetSeries::new(Dur::from_micros(10), 2);
+        s.samples.push(pt(10, 5, 1_000_000));
+        s.samples.push(pt(20, 3, 2_000_000));
+        assert_eq!(s.at(Time::from_micros(5)), None);
+        assert_eq!(s.at(Time::from_micros(10)).unwrap().queued_pkts, 5);
+        assert_eq!(s.at(Time::from_micros(19)).unwrap().queued_pkts, 5);
+        assert_eq!(s.at(Time::from_micros(100)).unwrap().queued_pkts, 3);
+        // 2e6 ps busy over 20 us across 2 links = 2e6 / (2e7 * 2).
+        let u = s.mean_utilization(Time::from_micros(20));
+        assert!((u - 0.05).abs() < 1e-12);
+    }
+}

@@ -341,7 +341,7 @@ fn stat_json(s: &Stat) -> Json {
 }
 
 fn cell_json(r: &SweepResult) -> Json {
-    Json::obj(vec![
+    let mut members = vec![
         ("topo", Json::Str(r.coord.topo.label())),
         ("original", Json::Str(r.coord.sched.label().to_string())),
         ("util", Json::Num(r.coord.util)),
@@ -352,11 +352,21 @@ fn cell_json(r: &SweepResult) -> Json {
         ("t_us", stat_json(&r.t_us)),
         ("max_congestion_points", stat_json(&r.max_cp)),
         ("mean_slack_us", stat_json(&r.mean_slack_us)),
-    ])
+    ];
+    // Deadline members appear only for deadline-tagged workloads, so
+    // deadline-free artifacts (every committed baseline) stay
+    // byte-identical to the pre-deadline schema.
+    if let Some(d) = &r.deadline {
+        members.push(("deadline_tagged", stat_json(&d.tagged)));
+        members.push(("deadline_miss_rate", stat_json(&d.miss_rate)));
+        members.push(("mean_lateness_us", stat_json(&d.mean_lateness_us)));
+        members.push(("p99_lateness_us", stat_json(&d.p99_lateness_us)));
+    }
+    Json::obj(members)
 }
 
 /// Quote a CSV field if it contains a comma, quote, or newline.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -395,6 +405,9 @@ impl SweepReport {
     /// The per-cell table as CSV: one header line, one line per cell,
     /// mean and stddev columns for every metric.
     pub fn to_csv(&self) -> String {
+        // Deadline columns extend the header only when some cell has
+        // deadline data, keeping deadline-free CSVs byte-identical.
+        let has_deadline = self.results.iter().any(|r| r.deadline.is_some());
         let mut out = String::from(
             "topo,original,util,replicates,\
              total_mean,total_stddev,\
@@ -402,10 +415,19 @@ impl SweepReport {
              frac_overdue_gt_t_mean,frac_overdue_gt_t_stddev,\
              t_us_mean,t_us_stddev,\
              max_cp_mean,max_cp_stddev,\
-             mean_slack_us_mean,mean_slack_us_stddev\n",
+             mean_slack_us_mean,mean_slack_us_stddev",
         );
+        if has_deadline {
+            out.push_str(
+                ",deadline_tagged_mean,deadline_tagged_stddev,\
+                 deadline_miss_rate_mean,deadline_miss_rate_stddev,\
+                 mean_lateness_us_mean,mean_lateness_us_stddev,\
+                 p99_lateness_us_mean,p99_lateness_us_stddev",
+            );
+        }
+        out.push('\n');
         for r in &self.results {
-            let stats = [
+            let mut stats = vec![
                 &r.total,
                 &r.frac_overdue,
                 &r.frac_gt_t,
@@ -413,6 +435,14 @@ impl SweepReport {
                 &r.max_cp,
                 &r.mean_slack_us,
             ];
+            if let Some(d) = &r.deadline {
+                stats.extend([
+                    &d.tagged,
+                    &d.miss_rate,
+                    &d.mean_lateness_us,
+                    &d.p99_lateness_us,
+                ]);
+            }
             write!(
                 out,
                 "{},{},{},{}",
@@ -424,6 +454,11 @@ impl SweepReport {
             .expect("write to String");
             for s in stats {
                 write!(out, ",{},{}", s.mean, s.stddev).expect("write to String");
+            }
+            // A deadline-free cell in a mixed grid keeps its columns
+            // aligned with empty fields.
+            if has_deadline && r.deadline.is_none() {
+                out.push_str(&",".repeat(8));
             }
             out.push('\n');
         }
@@ -587,6 +622,7 @@ mod tests {
             t_us: 12.0,
             max_cp: 1,
             mean_slack_us: 3.5,
+            deadline: None,
         })
     }
 

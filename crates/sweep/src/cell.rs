@@ -2,9 +2,15 @@
 //! it under LSTF, and report the cell's replayability metrics.
 
 use crate::grid::{CellCoord, SimScale};
+use std::collections::HashMap;
 use ups_core::replay::{record_original, replay_schedule, ReplayMode, ReplayReport};
 use ups_core::workload::WorkloadKind;
 use ups_core::RecordedSchedule;
+use ups_metrics::DeadlineLedger;
+use ups_net::Telemetry;
+use ups_obs::NetSeries;
+use ups_sim::Time;
+use ups_transport::FlowDesc;
 
 /// Per-replicate measurements of one grid cell (the sweep analogue of
 /// `ups-bench`'s `ReplayRow`, without the display strings).
@@ -22,6 +28,27 @@ pub struct CellMetrics {
     pub max_cp: usize,
     /// Mean slack (µs) in the original schedule.
     pub mean_slack_us: f64,
+    /// Deadline outcomes of the replay, present only when the workload
+    /// tagged at least one flow with a completion deadline (so cells of
+    /// deadline-free workloads serialize exactly as before).
+    pub deadline: Option<DeadlineCell>,
+}
+
+/// Deadline outcomes of one replicate's replay, computed through
+/// [`ups_metrics::DeadlineLedger`] from the workload's `FlowClass`
+/// deadlines and the replay's delivery telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineCell {
+    /// Deadline-tagged flows in the workload.
+    pub tagged: u64,
+    /// Tagged flows that finished late or never finished.
+    pub missed: u64,
+    /// `missed / tagged` (0 when nothing was tagged).
+    pub miss_rate: f64,
+    /// Mean lateness (µs) over late completions.
+    pub mean_lateness_us: f64,
+    /// 99th-percentile lateness (µs, log2-bucket upper bound).
+    pub p99_lateness_us: f64,
 }
 
 /// Per-replicate payload of a distribution-style (figure) cell: the
@@ -66,13 +93,96 @@ pub fn record_and_replay_workload(
     mode: ReplayMode,
     workload: WorkloadKind,
 ) -> (ReplayReport, RecordedSchedule) {
+    let run = record_and_replay_observed(coord, sim, seed, mode, workload);
+    (run.report, run.schedule)
+}
+
+/// Everything one observed replicate produced: the replay score, the
+/// recorded schedule, deadline outcomes (when the workload tagged
+/// flows), and — when process-wide sampling is enabled
+/// ([`ups_obs::set_sample_interval`]) — the time series sampled during
+/// the *original* (record) run, where `coord.sched` actually shapes the
+/// queues. The replay leg is always LSTF-family, so its series would
+/// not vary with the cell's scheduler coordinate.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// Replay score.
+    pub report: ReplayReport,
+    /// The recorded original schedule.
+    pub schedule: RecordedSchedule,
+    /// Deadline outcomes, when the workload tagged flows.
+    pub deadline: Option<DeadlineCell>,
+    /// Queue/utilization time series of the record run, when sampling.
+    pub series: Option<NetSeries>,
+}
+
+/// [`record_and_replay_workload`] with observability harvested: the
+/// record-run sampler series is taken before the topology drops, and
+/// the replay's delivery telemetry is reduced to deadline outcomes.
+/// Strictly read-only over both runs — the report and schedule are
+/// bit-identical to the unobserved pipeline's.
+pub fn record_and_replay_observed(
+    coord: &CellCoord,
+    sim: &SimScale,
+    seed: u64,
+    mode: ReplayMode,
+    workload: WorkloadKind,
+) -> ObservedRun {
     let mut orig_topo = coord.topo.build(sim);
     let flows = workload.build(&orig_topo, coord.util, sim.horizon, seed);
     let schedule = record_original(&mut orig_topo, &flows, coord.sched, seed, 1500);
+    let series = orig_topo.net.take_series();
     drop(orig_topo);
     let mut replay_topo = coord.topo.build(sim);
     let report = replay_schedule(&mut replay_topo, &schedule, mode);
-    (report, schedule)
+    let deadline = deadline_cell(&flows, &replay_topo.net.telemetry);
+    ObservedRun {
+        report,
+        schedule,
+        deadline,
+        series,
+    }
+}
+
+/// Reduce a run's delivery telemetry to deadline outcomes. `None` when
+/// the workload tagged no flows — which is what keeps deadline-free
+/// artifacts (every committed baseline) byte-identical to before.
+fn deadline_cell(flows: &[FlowDesc], telemetry: &Telemetry) -> Option<DeadlineCell> {
+    if !flows.iter().any(|f| f.deadline.is_some()) {
+        return None;
+    }
+    // Per tagged flow: latest delivery seen and how many packets made
+    // it. A flow completes only when *all* its packets were delivered.
+    let mut done: HashMap<u64, (Time, u64)> = flows
+        .iter()
+        .filter(|f| f.deadline.is_some())
+        .map(|f| (f.id.0, (Time::ZERO, 0)))
+        .collect();
+    for rec in &telemetry.packets {
+        if let Some((latest, delivered)) = done.get_mut(&rec.flow.0) {
+            if let Some(t) = rec.delivered {
+                *latest = (*latest).max(t);
+                *delivered += 1;
+            }
+        }
+    }
+    let mut ledger = DeadlineLedger::new();
+    for f in flows {
+        let Some(budget) = f.deadline else { continue };
+        let completion = done
+            .get(&f.id.0)
+            .filter(|&&(_, delivered)| delivered == f.pkts)
+            .map(|&(latest, _)| latest);
+        ledger.observe(f.start + budget, completion);
+    }
+    let stats = ledger.stats();
+    Some(DeadlineCell {
+        tagged: stats.tagged,
+        missed: stats.missed,
+        miss_rate: stats.miss_rate(),
+        mean_lateness_us: stats.mean_lateness_us,
+        p99_lateness_us: stats.p99_lateness_us,
+    })
 }
 
 impl CellMetrics {
@@ -87,6 +197,7 @@ impl CellMetrics {
             t_us: report.t.as_micros_f64(),
             max_cp: schedule.max_congestion_points(),
             mean_slack_us: schedule.mean_slack() / 1e6,
+            deadline: None,
         }
     }
 }
@@ -106,9 +217,10 @@ pub fn run_cell_workload(
     seed: u64,
     workload: WorkloadKind,
 ) -> CellMetrics {
-    let (report, schedule) =
-        record_and_replay_workload(coord, sim, seed, ReplayMode::lstf(), workload);
-    CellMetrics::of(&report, &schedule)
+    let run = record_and_replay_observed(coord, sim, seed, ReplayMode::lstf(), workload);
+    let mut metrics = CellMetrics::of(&run.report, &run.schedule);
+    metrics.deadline = run.deadline;
+    metrics
 }
 
 #[cfg(test)]

@@ -268,6 +268,7 @@ mod tests {
             t_us: 12.0,
             max_cp: 1,
             mean_slack_us: 3.5,
+            deadline: None,
         })
         .to_json()
     }
@@ -313,6 +314,7 @@ mod tests {
             t_us: 12.0,
             max_cp: 0,
             mean_slack_us: 0.0,
+            deadline: None,
         });
         let big = run_sweep_with(&SweepSpec::util_grid(), "test", 1, |_: &Job| CellMetrics {
             total: 1,
@@ -321,6 +323,7 @@ mod tests {
             t_us: 12.0,
             max_cp: 0,
             mean_slack_us: 0.0,
+            deadline: None,
         });
         let report =
             diff_artifacts(&big.to_json(), &small.to_json(), &DiffOptions::default()).unwrap();

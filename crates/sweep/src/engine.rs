@@ -53,6 +53,22 @@ pub struct SweepResult {
     pub max_cp: Stat,
     /// Mean slack (µs) in the original schedule.
     pub mean_slack_us: Stat,
+    /// Deadline outcomes, aggregated when every replicate reported them
+    /// (i.e. the workload tags flows with completion deadlines).
+    pub deadline: Option<DeadlineAgg>,
+}
+
+/// Per-cell aggregate of the replicates' deadline outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineAgg {
+    /// Deadline-tagged flows.
+    pub tagged: Stat,
+    /// Fraction of tagged flows that finished late or never finished.
+    pub miss_rate: Stat,
+    /// Mean lateness (µs) over late completions.
+    pub mean_lateness_us: Stat,
+    /// 99th-percentile lateness (µs, log2-bucket upper bound).
+    pub p99_lateness_us: Stat,
 }
 
 /// A completed sweep: spec metadata plus one [`SweepResult`] per cell,
@@ -90,10 +106,22 @@ where
     };
     let expanded = spec.jobs();
     let measured = run_indexed(&expanded, jobs, |_, job| runner(job));
+    aggregate_cells(spec, scale, &measured)
+}
+
+/// Aggregate per-replicate metrics (in job order: cell-major,
+/// replicate-minor, `spec.replicates` per cell) into the per-cell
+/// report. Shared by [`run_sweep_with`] and the telemetry sweep, which
+/// measures series alongside the metrics.
+pub(crate) fn aggregate_cells(
+    spec: &SweepSpec,
+    scale: &str,
+    measured: &[CellMetrics],
+) -> SweepReport {
     let results = spec
         .cells
         .iter()
-        .zip(measured.chunks(spec.replicates))
+        .zip(measured.chunks(spec.replicates.max(1)))
         .map(|(&coord, reps)| SweepResult {
             coord,
             replicates: reps.len(),
@@ -103,6 +131,16 @@ where
             t_us: Stat::of(reps.iter().map(|m| m.t_us)),
             max_cp: Stat::of(reps.iter().map(|m| m.max_cp as f64)),
             mean_slack_us: Stat::of(reps.iter().map(|m| m.mean_slack_us)),
+            deadline: reps
+                .iter()
+                .map(|m| m.deadline)
+                .collect::<Option<Vec<_>>>()
+                .map(|ds| DeadlineAgg {
+                    tagged: Stat::of(ds.iter().map(|d| d.tagged as f64)),
+                    miss_rate: Stat::of(ds.iter().map(|d| d.miss_rate)),
+                    mean_lateness_us: Stat::of(ds.iter().map(|d| d.mean_lateness_us)),
+                    p99_lateness_us: Stat::of(ds.iter().map(|d| d.p99_lateness_us)),
+                }),
         })
         .collect();
     SweepReport {
@@ -252,6 +290,7 @@ mod tests {
             t_us: 12.0,
             max_cp: job.cell,
             mean_slack_us: 1.0,
+            deadline: None,
         }
     }
 

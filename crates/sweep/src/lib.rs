@@ -29,6 +29,9 @@
 //! * [`diff`](mod@diff) compares two artifacts structurally, keyed by
 //!   grid coordinate, under a configurable tolerance — the primitive
 //!   behind `sweep diff` and cross-run regression detection in CI;
+//! * [`perf`] is the machine-readable perf history behind `sweep
+//!   bench`: one JSON line per benchmark run, plus the min-vs-prior-best
+//!   regression gate (`--gate-pct`);
 //! * [`scenario`] is the registry of named experiment scenarios —
 //!   topology build × workload family × grid — behind
 //!   `sweep --grid <scenario>` and the `sweep scenarios` subcommand
@@ -74,14 +77,22 @@
 //! | `t_us` | stat | the threshold `T` in µs |
 //! | `max_congestion_points` | stat | largest congestion-point count in the original schedule |
 //! | `mean_slack_us` | stat | mean slack (µs) in the original schedule |
+//! | `deadline_tagged` | stat, *optional* | deadline-tagged flows (deadline workloads only) |
+//! | `deadline_miss_rate` | stat, *optional* | fraction of tagged flows late or unfinished |
+//! | `mean_lateness_us` | stat, *optional* | mean lateness (µs) over late completions |
+//! | `p99_lateness_us` | stat, *optional* | p99 lateness (µs, log2-bucket upper bound) |
 //!
 //! where a **stat** is `{"mean": …, "stddev": …, "stderr": …}` over the
 //! cell's seed replicates (stddev/stderr are 0 for a single replicate;
-//! non-finite values render as `null`).
+//! non-finite values render as `null`). The four deadline members
+//! appear **only** when the workload tags flows with completion
+//! deadlines (e.g. the `i2-deadline-mix` scenario) — deadline-free
+//! artifacts are byte-identical to the pre-deadline schema.
 //!
 //! CSV: one header line, one line per cell —
 //! `topo,original,util,replicates` followed by `<metric>_mean,<metric>_stddev`
-//! pairs for the six metrics above, in the same order.
+//! pairs for the six metrics above, in the same order (plus the four
+//! deadline pairs when any cell has deadline data).
 //!
 //! ## Figure artifacts (`FigReport`, `"kind": "figure"`)
 //!
@@ -118,23 +129,57 @@
 //! `series,metric,x,label,mean,stddev,stderr`; scalar rows carry the
 //! scalar name in `metric` with empty `x`/`label`, point rows carry the
 //! axis name in `metric` plus their `x` (and `label` when categorical).
+//!
+//! ## Telemetry artifacts (`TelemetryReport`, `"kind": "telemetry"`)
+//!
+//! Written as `<grid>_telemetry.json`/`.csv` by `sweep --telemetry`
+//! (see [`telemetry`]): per-cell time series of network state sampled
+//! on the event wheel during the record run. JSON, top level:
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `kind` | string | `"telemetry"` |
+//! | `name` | string | file stem (`<grid>_telemetry`) |
+//! | `grid` | string | the sampled grid's name |
+//! | `scale` | string | scale label |
+//! | `base_seed` | integer | seed of replicate 0 |
+//! | `replicates` | integer | seed replicates per cell |
+//! | `interval_us` | number | sampling cadence (µs) |
+//! | `cells` | array | one object per grid cell, in spec order |
+//!
+//! Each cell carries the `topo`/`original`/`util` coordinate keys,
+//! `replicates` (that produced a series), `links`, and a `series`
+//! array: one `{"series": <name>, "points": [{"x": …, "mean": …,
+//! "stddev": …, "stderr": …}, …]}` object per sampled quantity
+//! (`queue_pkts_total`, `queue_pkts_max`, `in_flight`,
+//! `link_util_mean`) on the report's fixed x-grid (µs). Coordinate
+//! keys at every level make the artifact `sweep diff`-compatible.
+//!
+//! CSV (long format): header
+//! `topo,original,util,series,x_us,mean,stddev,stderr`, one row per
+//! (cell, series, x).
 
 pub mod artifact;
 pub mod cell;
 pub mod diff;
 pub mod engine;
 pub mod grid;
+pub mod perf;
 pub mod pool;
 pub mod scenario;
+pub mod telemetry;
 
 pub use artifact::Json;
 pub use cell::{
-    record_and_replay, record_and_replay_workload, run_cell, run_cell_workload, CellMetrics,
-    DistMetrics,
+    record_and_replay, record_and_replay_observed, record_and_replay_workload, run_cell,
+    run_cell_workload, CellMetrics, DeadlineCell, DistMetrics, ObservedRun,
 };
 pub use diff::{diff_artifacts, DiffOptions, DiffReport};
 pub use engine::{
-    run_fig_with, run_sweep, run_sweep_with, DistResult, FigReport, Stat, SweepReport, SweepResult,
+    run_fig_with, run_sweep, run_sweep_with, DeadlineAgg, DistResult, FigReport, Stat, SweepReport,
+    SweepResult,
 };
 pub use grid::{CellCoord, FigAxis, FigJob, FigSpec, Job, SimScale, SweepSpec, TopoKind};
+pub use perf::PerfEntry;
 pub use scenario::Scenario;
+pub use telemetry::{run_telemetry_sweep, TelemetryCell, TelemetryReport, TelemetrySeries};

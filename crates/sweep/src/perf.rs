@@ -1,0 +1,238 @@
+//! Machine-readable performance history and the regression gate behind
+//! `sweep bench`.
+//!
+//! Every bench run appends one [`PerfEntry`] as a single JSON line to a
+//! history file (default `target/sweep/perf-history.jsonl`). JSONL
+//! keeps appends atomic-ish and trivially greppable, and each line
+//! parses back through [`Json::parse`], so the history needs no schema
+//! migration: unknown future fields are simply ignored by
+//! [`PerfEntry::from_json`].
+//!
+//! The gate ([`gate`]) compares a candidate's best (minimum) iteration
+//! time against the best prior entry for the same `(bench, scale)` key
+//! and fails when the candidate is more than `gate_pct` percent slower.
+//! Minimum-vs-minimum is deliberately forgiving of noise: a single slow
+//! iteration (page cache miss, CI neighbor) cannot fail the gate, only
+//! a run whose *fastest* iteration regressed can.
+
+use crate::artifact::Json;
+
+/// One benchmark run: the unit appended to the perf history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Benchmark name (e.g. `fattree_web_forwarding`).
+    pub bench: String,
+    /// Scale label the run used (`quick`, `full`, …) — part of the
+    /// gate key, since timings across scales are incomparable.
+    pub scale: String,
+    /// Timed iterations aggregated into this entry.
+    pub iters: u64,
+    /// Packets forwarded per iteration (the throughput denominator).
+    pub pkts: u64,
+    /// Fastest iteration, milliseconds — the gated statistic.
+    pub min_ms: f64,
+    /// Mean over timed iterations, milliseconds.
+    pub mean_ms: f64,
+    /// Throughput of the fastest iteration, packets per second.
+    pub pkts_per_sec: f64,
+}
+
+impl PerfEntry {
+    /// Render as one compact JSON line (no trailing newline). Floats
+    /// use Rust's shortest round-trip `Display`, like every artifact.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"bench\":{},\"scale\":{},\"iters\":{},\"pkts\":{},\
+             \"min_ms\":{},\"mean_ms\":{},\"pkts_per_sec\":{}}}",
+            quote(&self.bench),
+            quote(&self.scale),
+            self.iters,
+            self.pkts,
+            self.min_ms,
+            self.mean_ms,
+            self.pkts_per_sec
+        )
+    }
+
+    /// Rebuild an entry from a parsed history line. Unknown members
+    /// are ignored; missing or mistyped required members are errors.
+    pub fn from_json(v: &Json) -> Result<PerfEntry, String> {
+        let Json::Obj(members) = v else {
+            return Err("perf entry: expected a JSON object".to_string());
+        };
+        let get = |key: &str| -> Result<&Json, String> {
+            members
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("perf entry: missing `{key}`"))
+        };
+        let str_of = |key: &str| -> Result<String, String> {
+            match get(key)? {
+                Json::Str(s) => Ok(s.clone()),
+                _ => Err(format!("perf entry: `{key}` must be a string")),
+            }
+        };
+        let uint_of = |key: &str| -> Result<u64, String> {
+            match get(key)? {
+                Json::UInt(n) => Ok(*n),
+                _ => Err(format!("perf entry: `{key}` must be an unsigned integer")),
+            }
+        };
+        let num_of = |key: &str| -> Result<f64, String> {
+            match get(key)? {
+                Json::Num(x) => Ok(*x),
+                Json::UInt(n) => Ok(*n as f64),
+                _ => Err(format!("perf entry: `{key}` must be a number")),
+            }
+        };
+        Ok(PerfEntry {
+            bench: str_of("bench")?,
+            scale: str_of("scale")?,
+            iters: uint_of("iters")?,
+            pkts: uint_of("pkts")?,
+            min_ms: num_of("min_ms")?,
+            mean_ms: num_of("mean_ms")?,
+            pkts_per_sec: num_of("pkts_per_sec")?,
+        })
+    }
+}
+
+/// Minimal JSON string quoting for bench/scale labels.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a perf-history file: one [`PerfEntry`] per non-empty line.
+/// Errors carry the 1-based line number so a corrupted history is easy
+/// to repair by hand.
+pub fn parse_history(text: &str) -> Result<Vec<PerfEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("perf history line {}: {e}", i + 1))?;
+        entries.push(
+            PerfEntry::from_json(&v).map_err(|e| format!("perf history line {}: {e}", i + 1))?,
+        );
+    }
+    Ok(entries)
+}
+
+/// Gate a candidate run against history.
+///
+/// Returns `Ok(None)` when no prior entry shares the candidate's
+/// `(bench, scale)` key (first run establishes the baseline),
+/// `Ok(Some(prior_best_ms))` when the candidate's `min_ms` is within
+/// `gate_pct` percent of the best prior `min_ms`, and `Err` with a
+/// human-readable verdict when it regressed beyond the threshold.
+pub fn gate(
+    history: &[PerfEntry],
+    candidate: &PerfEntry,
+    gate_pct: f64,
+) -> Result<Option<f64>, String> {
+    let prior_best = history
+        .iter()
+        .filter(|e| e.bench == candidate.bench && e.scale == candidate.scale)
+        .map(|e| e.min_ms)
+        .fold(f64::INFINITY, f64::min);
+    if !prior_best.is_finite() {
+        return Ok(None);
+    }
+    let limit = prior_best * (1.0 + gate_pct / 100.0);
+    if candidate.min_ms <= limit {
+        Ok(Some(prior_best))
+    } else {
+        Err(format!(
+            "perf gate: {} ({}) regressed: min {:.3} ms vs prior best {:.3} ms \
+             (limit {:.3} ms = best +{gate_pct}%)",
+            candidate.bench, candidate.scale, candidate.min_ms, prior_best, limit
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, scale: &str, min_ms: f64) -> PerfEntry {
+        PerfEntry {
+            bench: bench.to_string(),
+            scale: scale.to_string(),
+            iters: 5,
+            pkts: 10_000,
+            min_ms,
+            mean_ms: min_ms * 1.1,
+            pkts_per_sec: 10_000.0 / (min_ms / 1e3),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_jsonl() {
+        let e = entry("fattree_web_forwarding", "quick", 12.625);
+        let line = e.to_json_line();
+        assert!(!line.contains('\n'), "one entry per line");
+        let parsed = PerfEntry::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn history_parses_lines_and_skips_blanks() {
+        let text = format!(
+            "{}\n\n{}\n",
+            entry("a", "quick", 1.0).to_json_line(),
+            entry("b", "full", 2.0).to_json_line()
+        );
+        let h = parse_history(&text).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].bench, "a");
+        assert_eq!(h[1].scale, "full");
+    }
+
+    #[test]
+    fn corrupt_line_is_reported_with_its_number() {
+        let text = format!("{}\nnot json\n", entry("a", "quick", 1.0).to_json_line());
+        let err = parse_history(&text).unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn gate_passes_without_prior_baseline() {
+        let verdict = gate(&[], &entry("a", "quick", 5.0), 10.0).unwrap();
+        assert_eq!(verdict, None);
+    }
+
+    #[test]
+    fn gate_keys_on_bench_and_scale() {
+        let history = vec![entry("a", "full", 1.0), entry("b", "quick", 1.0)];
+        // Same bench name at a different scale is not a baseline.
+        assert_eq!(gate(&history, &entry("a", "quick", 50.0), 10.0), Ok(None));
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let history = vec![
+            entry("a", "quick", 10.0),
+            entry("a", "quick", 12.0), // slower later run must not raise the bar
+        ];
+        assert_eq!(
+            gate(&history, &entry("a", "quick", 10.9), 10.0),
+            Ok(Some(10.0))
+        );
+        let err = gate(&history, &entry("a", "quick", 11.1), 10.0).unwrap_err();
+        assert!(err.contains("regressed"), "got: {err}");
+        assert!(err.contains("11.1"), "verdict names the candidate: {err}");
+    }
+}

@@ -11,7 +11,11 @@
 //! catalogue is documented in `docs/SCENARIOS.md`). The `diff`
 //! subcommand compares two JSON artifacts (table or figure)
 //! structurally, keyed by grid coordinate, and exits nonzero when they
-//! diverge beyond the given tolerance — the cross-run regression check:
+//! diverge beyond the given tolerance — the cross-run regression check.
+//! The `bench` subcommand times end-to-end fat-tree forwarding, appends
+//! the result to a machine-readable perf history
+//! (`target/sweep/perf-history.jsonl`), and with `--gate-pct` exits
+//! nonzero when the run regressed past the best prior entry:
 //!
 //! ```sh
 //! cargo run --release --bin sweep -- --jobs 4 --replicates 3
@@ -20,12 +24,19 @@
 //! cargo run --release --bin sweep -- scenarios describe rocketfuel-full
 //! cargo run --release --bin sweep -- scenarios run dc-k4-incast-sched
 //! cargo run --release --bin sweep -- diff baseline.json target/sweep/table1.json
+//! cargo run --release --bin sweep -- bench --iters 5 --gate-pct 20
 //! ```
 
 use std::path::{Path, PathBuf};
 use ups_bench::Scale;
+use ups_core::WorkloadKind;
+use ups_net::TraceLevel;
+use ups_sim::Dur;
 use ups_sweep::scenario::{self, Scenario};
-use ups_sweep::{diff_artifacts, run_sweep, DiffOptions, SweepReport, SweepSpec};
+use ups_sweep::{
+    diff_artifacts, perf, run_cell_workload, run_sweep_with, run_telemetry_sweep, DiffOptions,
+    PerfEntry, SweepReport, SweepSpec,
+};
 
 const GRIDS: &str = "table1 (default), smoke, util, sched, topo, or any \
                      registered scenario (see `sweep scenarios list`)";
@@ -33,17 +44,63 @@ const GRIDS: &str = "table1 (default), smoke, util, sched, topo, or any \
 fn usage_exit(err: &str) -> ! {
     eprintln!(
         "error: {err}\n\
-         usage: sweep [--grid NAME] [--out DIR] [scale flags]\n       \
+         usage: sweep [--grid NAME] [--out DIR] [--telemetry] [scale flags]\n       \
          sweep scenarios [list | describe NAME | run NAME [--out DIR] [scale flags]]\n       \
-         sweep diff OLD.json NEW.json [--rel-tol X] [--abs-tol X]\n  \
+         sweep diff OLD.json NEW.json [--rel-tol X] [--abs-tol X]\n       \
+         sweep bench [--iters N] [--gate-pct X] [--handicap F] [--trace-out FILE]\n             \
+         [--history FILE] [--out DIR] [scale flags]\n  \
          --grid NAME  grid to run: {GRIDS}\n  \
          --out DIR    artifact directory (default: target/sweep)\n  \
+         --telemetry  sample queue/utilization time series on the event wheel and\n               \
+         additionally write <grid>_telemetry.json/.csv\n  \
+         --telemetry-interval-us N  sampling cadence in µs (default 250; implies --telemetry)\n  \
          --rel-tol X  diff: relative tolerance per numeric value (default 0 = exact)\n  \
-         --abs-tol X  diff: absolute tolerance per numeric value (default 0 = exact)\n\
+         --abs-tol X  diff: absolute tolerance per numeric value (default 0 = exact)\n  \
+         --iters N    bench: timed iterations (default 5)\n  \
+         --gate-pct X bench: fail (exit 1) when min time regresses more than X%\n               \
+         past the best prior history entry for this bench+scale\n  \
+         --handicap F bench: multiply measured times by F (gate self-test)\n  \
+         --trace-out FILE  bench: export the warmup run's packet lifecycle\n               \
+         ring as JSON Lines\n  \
+         --history FILE    bench: perf history path (default: <out>/perf-history.jsonl)\n\
          {}",
         ups_bench::scale::SCALE_FLAGS
     );
     std::process::exit(2);
+}
+
+/// Strip `--telemetry` / `--telemetry-interval-us N` out of `args`
+/// (they would trip `Scale::parse`'s strict unknown-flag check);
+/// returns the sampling cadence when telemetry was requested.
+fn take_telemetry_flags(args: &mut Vec<String>) -> Result<Option<Dur>, String> {
+    let mut on = false;
+    let mut interval_us: u64 = 250;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry" => {
+                on = true;
+                args.remove(i);
+            }
+            "--telemetry-interval-us" => {
+                let Some(v) = args.get(i + 1) else {
+                    return Err("--telemetry-interval-us requires a value".to_string());
+                };
+                interval_us = match v.parse::<u64>() {
+                    Ok(x) if x > 0 => x,
+                    _ => {
+                        return Err(
+                            "--telemetry-interval-us: expected a positive integer".to_string()
+                        )
+                    }
+                };
+                on = true;
+                args.drain(i..i + 2);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(on.then(|| Dur::from_micros(interval_us)))
 }
 
 /// `sweep diff OLD NEW [--rel-tol X] [--abs-tol X]`: exit 0 when the
@@ -96,6 +153,194 @@ fn run_diff(args: &[String]) -> ! {
     std::process::exit(1);
 }
 
+/// `sweep bench`: time end-to-end fat-tree web forwarding (the
+/// `large_topo` criterion bench's shape — build topology, inject the
+/// Poisson web workload, run the event loop to completion), append a
+/// [`PerfEntry`] to the JSONL perf history, and optionally gate against
+/// the best prior entry for the same bench + scale.
+///
+/// The warmup iteration doubles as the lifecycle-trace capture: it runs
+/// with a bounded [`ups_obs::LifecycleRing`] enabled so `--trace-out`
+/// can export the packet-event story without perturbing the timed
+/// iterations (which run with telemetry's default-off tracing).
+fn run_bench(args: &[String]) -> ! {
+    let mut rest: Vec<String> = args.to_vec();
+    let out = match ups_bench::scale::take_out_flag(&mut rest) {
+        Ok(out) => out,
+        Err(e) => usage_exit(&e),
+    };
+    let mut iters: u64 = 5;
+    let mut gate_pct: Option<f64> = None;
+    let mut handicap: f64 = 1.0;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut history_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].clone();
+        let mut value = || -> String {
+            match rest.get(i + 1) {
+                Some(v) => {
+                    let v = v.clone();
+                    rest.drain(i..i + 2);
+                    v
+                }
+                None => usage_exit(&format!("{flag} requires a value")),
+            }
+        };
+        match flag.as_str() {
+            "--iters" => {
+                iters = match value().parse::<u64>() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage_exit("--iters: expected a positive integer"),
+                }
+            }
+            "--gate-pct" => {
+                gate_pct = match value().parse::<f64>() {
+                    Ok(x) if x >= 0.0 => Some(x),
+                    _ => usage_exit("--gate-pct: expected a non-negative number"),
+                }
+            }
+            "--handicap" => {
+                handicap = match value().parse::<f64>() {
+                    Ok(x) if x > 0.0 => x,
+                    _ => usage_exit("--handicap: expected a positive number"),
+                }
+            }
+            "--trace-out" => trace_out = Some(PathBuf::from(value())),
+            "--history" => history_path = Some(PathBuf::from(value())),
+            _ => i += 1,
+        }
+    }
+    let scale = match Scale::parse(&rest) {
+        Ok(s) => s,
+        Err(e) => usage_exit(&e),
+    };
+    let history_path = history_path.unwrap_or_else(|| out.join("perf-history.jsonl"));
+    let k = scale.fattree_k;
+    let bench_name = format!("fattree_k{k}_web_forwarding");
+    println!(
+        "bench {bench_name}: scale {}, {iters} timed iteration(s){}",
+        scale.label,
+        if handicap != 1.0 {
+            format!(", handicap x{handicap}")
+        } else {
+            String::new()
+        }
+    );
+
+    let build_topo =
+        || ups_topo::fattree::build(&ups_topo::fattree::FatTreeConfig::for_k(k), TraceLevel::Off);
+    let topo = build_topo();
+    let flows = WorkloadKind::Web.build(&topo, 0.7, scale.horizon, scale.seed);
+    let pkts: u64 = flows.iter().map(|f| f.pkts).sum();
+    drop(topo);
+
+    let run_once = |lifecycle_cap: Option<usize>| {
+        let mut topo = build_topo();
+        if let Some(cap) = lifecycle_cap {
+            topo.net.telemetry.enable_lifecycle(cap);
+        }
+        let mut stamper = ups_transport::HeaderStamper::zero();
+        let routes = std::sync::Arc::clone(&topo.routes);
+        ups_transport::inject_udp_flows(&mut topo.net, &routes, &flows, 1500, &mut stamper);
+        topo.net.run_to_completion();
+        topo
+    };
+
+    // Warmup + trace capture (untimed).
+    let warm = run_once(Some(65_536));
+    let delivered = warm.net.telemetry.counters.delivered;
+    if let Some(ring) = warm.net.telemetry.lifecycle.as_ref() {
+        println!(
+            "warmup: {delivered} pkts delivered, {} lifecycle events ({} retained)",
+            ring.total(),
+            ring.len()
+        );
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, ring.to_jsonl()) {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            println!("wrote lifecycle trace {}", path.display());
+        }
+    }
+    drop(warm);
+
+    let mut times_ms: Vec<f64> = Vec::with_capacity(iters as usize);
+    for n in 1..=iters {
+        let t0 = std::time::Instant::now();
+        let topo = run_once(None);
+        let ms = t0.elapsed().as_secs_f64() * 1e3 * handicap;
+        std::hint::black_box(topo.net.telemetry.counters.delivered);
+        println!("  iter {n}: {ms:.3} ms");
+        times_ms.push(ms);
+    }
+    let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ms = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
+    let entry = PerfEntry {
+        bench: bench_name,
+        scale: scale.label.to_string(),
+        iters,
+        pkts,
+        min_ms,
+        mean_ms,
+        pkts_per_sec: pkts as f64 / (min_ms / 1e3),
+    };
+    println!(
+        "{}: min {min_ms:.3} ms, mean {mean_ms:.3} ms, {:.0} pkts/s",
+        entry.bench, entry.pkts_per_sec
+    );
+
+    let prior_text = std::fs::read_to_string(&history_path).unwrap_or_default();
+    let history = match perf::parse_history(&prior_text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e} (in {})", history_path.display());
+            std::process::exit(2);
+        }
+    };
+    // Append before gating: the history records what ran; the gate keys
+    // on the best prior entry, so a slow run cannot raise the bar.
+    if let Some(dir) = history_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let mut text = prior_text;
+    text.push_str(&entry.to_json_line());
+    text.push('\n');
+    if let Err(e) = std::fs::write(&history_path, text) {
+        eprintln!("error: writing {}: {e}", history_path.display());
+        std::process::exit(2);
+    }
+    println!(
+        "appended to {} ({} prior entries)",
+        history_path.display(),
+        history.len()
+    );
+
+    let Some(pct) = gate_pct else {
+        std::process::exit(0);
+    };
+    match perf::gate(&history, &entry, pct) {
+        Ok(None) => {
+            println!("perf gate: no prior baseline for this bench + scale; recorded");
+            std::process::exit(0);
+        }
+        Ok(Some(best)) => {
+            println!(
+                "perf gate: OK — min {min_ms:.3} ms vs prior best {best:.3} ms (+{pct}% allowed)"
+            );
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `sweep scenarios [list | describe NAME | run NAME ...]`.
 fn run_scenarios(args: &[String]) -> ! {
     match args.first().map(String::as_str) {
@@ -131,11 +376,15 @@ fn run_scenarios(args: &[String]) -> ! {
                 Ok(out) => out,
                 Err(e) => usage_exit(&e),
             };
+            let telemetry = match take_telemetry_flags(&mut rest) {
+                Ok(t) => t,
+                Err(e) => usage_exit(&e),
+            };
             let scale = match Scale::parse(&rest) {
                 Ok(sc) => sc,
                 Err(e) => usage_exit(&e),
             };
-            run_scenario_grid(s, &scale, &out);
+            run_scenario_grid(s, &scale, &out, telemetry);
         }
         Some(other) => usage_exit(&format!(
             "unknown scenarios action `{other}` (list, describe, run)"
@@ -169,15 +418,57 @@ fn write_report(report: &SweepReport, out: &Path) -> ! {
     }
 }
 
-fn run_scenario_grid(s: &Scenario, scale: &Scale, out: &Path) -> ! {
+/// Run any grid (named or scenario) with its workload family, with or
+/// without event-wheel telemetry sampling, and write the artifacts.
+fn execute_grid(
+    spec: &SweepSpec,
+    workload: WorkloadKind,
+    scale: &Scale,
+    out: &Path,
+    telemetry: Option<Dur>,
+) -> ! {
+    let sim = scale.sim();
+    let Some(interval) = telemetry else {
+        let report = run_sweep_with(spec, sim.label, scale.jobs, |job| {
+            run_cell_workload(&job.coord, &sim, job.seed, workload)
+        });
+        write_report(&report, out);
+    };
+    println!(
+        "telemetry: sampling every {} us on the event wheel",
+        interval.as_ps() / 1_000_000
+    );
+    let (report, telem) = run_telemetry_sweep(spec, &sim, scale.jobs, workload, interval);
+    print_report(&report);
+    let written = report
+        .write(out)
+        .and_then(|(json, csv)| telem.write(out).map(|(tj, tc)| (json, csv, tj, tc)));
+    match written {
+        Ok((json, csv, tj, tc)) => {
+            println!(
+                "\nwrote {} and {}\nwrote {} and {}",
+                json.display(),
+                csv.display(),
+                tj.display(),
+                tc.display()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: writing artifacts to {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_scenario_grid(s: &Scenario, scale: &Scale, out: &Path, telemetry: Option<Dur>) -> ! {
     let spec = s
         .spec()
         .with_seed(scale.seed)
         .with_replicates(scale.replicates);
     println!("scenario {}: {} [{}]", s.name, s.title, s.workload.label());
     announce(&spec, scale);
-    let report = s.run_spec(&spec, &scale.sim(), scale.jobs);
-    write_report(&report, out);
+    execute_grid(&spec, s.workload, scale, out, telemetry);
 }
 
 fn main() {
@@ -185,12 +476,13 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("diff") => run_diff(&args[1..]),
         Some("scenarios") => run_scenarios(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
         _ => {}
     }
     // Split off the sweep-specific flags; everything else is scale.
     let mut grid = "table1".to_string();
     let mut out = PathBuf::from("target/sweep");
-    let mut scale_args = Vec::new();
+    let mut scale_args: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -205,6 +497,10 @@ fn main() {
             _ => scale_args.push(a),
         }
     }
+    let telemetry = match take_telemetry_flags(&mut scale_args) {
+        Ok(t) => t,
+        Err(e) => usage_exit(&e),
+    };
     let scale = match Scale::parse(&scale_args) {
         Ok(s) => s,
         Err(e) => usage_exit(&e),
@@ -216,7 +512,7 @@ fn main() {
         "sched" => SweepSpec::sched_grid(),
         "topo" => SweepSpec::topo_grid(),
         other => match scenario::find(other) {
-            Some(s) => run_scenario_grid(s, &scale, &out),
+            Some(s) => run_scenario_grid(s, &scale, &out, telemetry),
             None => usage_exit(&format!("unknown grid `{other}` (choose from: {GRIDS})")),
         },
     }
@@ -224,8 +520,7 @@ fn main() {
     .with_replicates(scale.replicates);
 
     announce(&spec, &scale);
-    let report = run_sweep(&spec, &scale.sim(), scale.jobs);
-    write_report(&report, &out);
+    execute_grid(&spec, WorkloadKind::Web, &scale, &out, telemetry);
 }
 
 fn print_report(report: &SweepReport) {

@@ -10,6 +10,8 @@
 //!
 //! * [`sim`] — deterministic discrete-event primitives (picosecond
 //!   clock, class-ordered event queue, portable RNG);
+//! * [`obs`] — the deterministic telemetry plane (metrics registry,
+//!   event-wheel time-series sampling, lifecycle tracing);
 //! * [`net`] — the store-and-forward network model (the ns-2 stand-in);
 //! * [`sched`] — LSTF, EDF, FIFO, LIFO, Random, Priority/SJF, SRPT,
 //!   FQ, DRR, FIFO+;
@@ -40,6 +42,7 @@ pub use ups_core as core;
 pub use ups_flowgen as flowgen;
 pub use ups_metrics as metrics;
 pub use ups_net as net;
+pub use ups_obs as obs;
 pub use ups_sched as sched;
 pub use ups_sim as sim;
 pub use ups_sweep as sweep;

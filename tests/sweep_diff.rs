@@ -18,6 +18,7 @@ fn artifact(bump: f64) -> String {
         t_us: 12.0,
         max_cp: 1,
         mean_slack_us: 3.5,
+        deadline: None,
     })
     .to_json()
 }
@@ -99,6 +100,7 @@ fn added_and_removed_cells_exit_nonzero() {
             t_us: 12.0,
             max_cp: 1,
             mean_slack_us: 3.5,
+            deadline: None,
         },
     )
     .to_json();
