@@ -60,6 +60,7 @@ pub fn run_replay(
         topo: kind,
         sched: original,
         util,
+        chaos: ups_sweep::ChaosSpec::OFF,
     };
     let (report, schedule) = ups_sweep::record_and_replay(&coord, &scale.sim(), scale.seed, mode);
     let row = replay_row(
@@ -152,6 +153,7 @@ pub fn fig1_cell(scale: &Scale, orig: SchedKind, seed: u64) -> Cdf {
         topo: TopoKind::I2(I2Variant::Default1g10g),
         sched: orig,
         util: 0.7,
+        chaos: ups_sweep::ChaosSpec::OFF,
     };
     let (report, _) = ups_sweep::record_and_replay(&coord, &scale.sim(), seed, ReplayMode::lstf());
     Cdf::new(report.qdelay_ratios)

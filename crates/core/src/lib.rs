@@ -55,6 +55,9 @@ pub mod workload;
 
 pub use objectives::{run_fairness, run_fct, run_goodput, run_tail_delays, Scheme};
 pub use omniscient::{omniscient, Omniscient};
-pub use replay::{record_original, replay_experiment, replay_schedule, ReplayMode, ReplayReport};
+pub use replay::{
+    record_original, replay_experiment, replay_schedule, replay_schedule_lossy, ReplayMode,
+    ReplayReport,
+};
 pub use schedule::{RecordedPacket, RecordedSchedule};
 pub use workload::{default_udp_workload, to_flow_descs, WorkloadKind};

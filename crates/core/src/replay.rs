@@ -94,6 +94,10 @@ pub struct ReplayReport {
     pub overdue: usize,
     /// Packets with `o'(p) > o(p) + T`.
     pub overdue_gt_t: usize,
+    /// Packets never delivered by the replay. Always 0 on the strict
+    /// path ([`replay_schedule`]); nonzero only under a loss-inducing
+    /// chaos policy scored via [`replay_schedule_lossy`].
+    pub lost: usize,
     /// The threshold `T`: one MTU transmission on the slowest link.
     pub t: Dur,
     /// Per-packet lateness `o'(p) − o(p)` in picoseconds (≤ 0 = on time),
@@ -113,6 +117,18 @@ impl ReplayReport {
     /// Fraction of packets overdue by more than `T`.
     pub fn frac_overdue_gt_t(&self) -> f64 {
         self.overdue_gt_t as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of packets lost (never delivered) in the replay.
+    pub fn frac_lost(&self) -> f64 {
+        self.lost as f64 / self.total.max(1) as f64
+    }
+
+    /// Replay fidelity: the fraction of packets both delivered and on
+    /// time (`o' ≤ o`). Equals `1 − frac_overdue` on the strict path;
+    /// under chaos it additionally charges every lost packet.
+    pub fn fidelity(&self) -> f64 {
+        (self.total - self.overdue - self.lost) as f64 / self.total.max(1) as f64
     }
 
     /// Worst lateness observed (≤ 0 means a perfect replay).
@@ -164,11 +180,36 @@ pub fn record_original(
 }
 
 /// Replay `schedule` on a *fresh* build of the same topology under
-/// `mode`, and score it.
+/// `mode`, and score it. The replay must be loss-free (it asserts so);
+/// to score a replay on a chaos-perturbed network, use
+/// [`replay_schedule_lossy`].
 pub fn replay_schedule(
     topo: &mut Topology,
     schedule: &RecordedSchedule,
     mode: ReplayMode,
+) -> ReplayReport {
+    replay_schedule_impl(topo, schedule, mode, false)
+}
+
+/// Like [`replay_schedule`], but tolerant of packet loss: a packet the
+/// replay never delivers (dropped by an installed
+/// [`ChaosPolicy`](ups_net::ChaosPolicy), e.g.) counts in
+/// [`ReplayReport::lost`] and against [`ReplayReport::fidelity`], and is
+/// excluded from the lateness and queueing-delay-ratio distributions.
+/// On a loss-free run the report is identical to the strict path's.
+pub fn replay_schedule_lossy(
+    topo: &mut Topology,
+    schedule: &RecordedSchedule,
+    mode: ReplayMode,
+) -> ReplayReport {
+    replay_schedule_impl(topo, schedule, mode, true)
+}
+
+fn replay_schedule_impl(
+    topo: &mut Topology,
+    schedule: &RecordedSchedule,
+    mode: ReplayMode,
+    allow_loss: bool,
 ) -> ReplayReport {
     assert_eq!(
         topo.net.telemetry.level,
@@ -227,9 +268,12 @@ pub fn replay_schedule(
     topo.net.run_to_completion();
 
     // Score: replay packet ids are assigned in injection order, which is
-    // exactly the recorded order.
+    // exactly the recorded order (telemetry keeps one dense record per
+    // injection even for packets that are later dropped).
     let tel = &topo.net.telemetry;
-    assert_eq!(tel.counters.dropped, 0, "replay must be drop-free");
+    if !allow_loss {
+        assert_eq!(tel.counters.dropped, 0, "replay must be drop-free");
+    }
     assert_eq!(tel.packets.len(), schedule.packets.len());
     let max_size = schedule
         .packets
@@ -241,9 +285,16 @@ pub fn replay_schedule(
 
     let mut lateness = Vec::with_capacity(schedule.packets.len());
     let mut ratios = Vec::new();
-    let (mut overdue, mut overdue_gt_t) = (0usize, 0usize);
+    let (mut overdue, mut overdue_gt_t, mut lost) = (0usize, 0usize, 0usize);
     for (rec, rep) in schedule.packets.iter().zip(&tel.packets) {
-        let o_replay = rep.delivered.expect("replay packet undelivered");
+        let o_replay = match rep.delivered {
+            Some(t) => t,
+            None if allow_loss => {
+                lost += 1;
+                continue;
+            }
+            None => panic!("replay packet undelivered"),
+        };
         let late = o_replay.signed_since(rec.o);
         if late > OVERDUE_TOLERANCE_PS {
             overdue += 1;
@@ -262,6 +313,7 @@ pub fn replay_schedule(
         total: schedule.packets.len(),
         overdue,
         overdue_gt_t,
+        lost,
         t,
         lateness,
         qdelay_ratios: ratios,

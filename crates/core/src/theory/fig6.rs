@@ -98,6 +98,7 @@ pub fn priority_replay(prios: [i64; 3]) -> ReplayReport {
         total: sched.packets.len(),
         overdue,
         overdue_gt_t: 0,
+        lost: 0,
         t: UNIT,
         lateness,
         qdelay_ratios: Vec::new(),

@@ -11,6 +11,7 @@
 //! `ups-topo`), transport protocols (see `ups-transport`), and the
 //! replay/universality machinery (see `ups-core`).
 
+pub mod chaos;
 pub mod fifo;
 pub mod link;
 pub mod network;
@@ -22,6 +23,7 @@ pub mod slab;
 pub mod testutil;
 pub mod trace;
 
+pub use chaos::{ChaosPolicy, ChaosTotals, JamSpec};
 pub use fifo::Fifo;
 pub use link::{Link, LinkStats, PortActions};
 pub use network::{App, LinkPolicy, Network};

@@ -13,6 +13,7 @@
 //! packet is picked for transmission, its header slack is decremented by
 //! the time it waited in this queue (§2.1).
 
+use crate::chaos::LinkChaos;
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::scheduler::{EvictOutcome, Queued, Scheduler};
 use ups_sim::{Bandwidth, Dur, Time};
@@ -34,6 +35,16 @@ pub struct LinkStats {
     pub preemptions: u64,
     /// High-water mark of queued packets.
     pub max_queue_pkts: usize,
+    /// Packets lost to the chaos layer: i.i.d. wire loss, packets killed
+    /// or drained by a failure or jam, and arrivals refused while down.
+    /// Always also counted in [`LinkStats::dropped`].
+    pub chaos_drops: u64,
+    /// Failure (link-down) windows entered.
+    pub chaos_downs: u64,
+    /// Jamming windows entered.
+    pub chaos_jams: u64,
+    /// Total time spent down and/or jammed.
+    pub chaos_outage: Dur,
 }
 
 /// The packet currently being serialized onto the wire.
@@ -170,6 +181,10 @@ pub struct Link {
     /// current instant — the network uses this to keep at most one
     /// pending start decision per link.
     pub(crate) start_pending: bool,
+    /// Chaos runtime state, present only once a [`crate::ChaosPolicy`]
+    /// is installed (see [`crate::Network::install_chaos`]). Chaos-free
+    /// links carry a null pointer and take exactly the pre-chaos paths.
+    pub(crate) chaos: Option<Box<LinkChaos>>,
     /// Counters.
     pub stats: LinkStats,
 }
@@ -193,6 +208,7 @@ impl Link {
             inflight: None,
             tx_gen: 0,
             start_pending: false,
+            chaos: None,
             stats: LinkStats::default(),
         }
     }
@@ -329,6 +345,7 @@ impl Link {
             || self.inflight.is_some()
             || !self.sched.is_empty()
             || self.preemptive
+            || self.chaos.is_some()
             || self.buffer.is_some_and(|cap| (pkt.size as u64) > cap)
         {
             return Some(pkt);
@@ -354,6 +371,14 @@ impl Link {
     /// everything except the start-request decision, which depends on the
     /// port state after the whole batch.
     fn admit_one(&mut self, mut pkt: Box<Packet>, now: Time, act: &mut PortActions) {
+        // A failed link refuses arrivals outright (no queue entry, no
+        // arrival-sequence draw — the packet never reached the port).
+        if self.chaos.as_ref().is_some_and(|c| c.down) {
+            self.stats.dropped += 1;
+            self.stats.chaos_drops += 1;
+            act.dropped.push(pkt);
+            return;
+        }
         pkt.tx_left = None;
         let q = self.make_queued(pkt, now);
 
@@ -426,9 +451,20 @@ impl Link {
         self.stats.tx_done += 1;
         self.stats.bytes_tx += pkt.size as u64;
         self.stats.busy += now - fl.tx_start;
+        act.want_start = !self.sched.is_empty();
+        // Chaos wire loss: the transmission consumed the wire normally,
+        // but the packet is lost instead of forwarded. One draw per
+        // completed transmission from this link's dedicated stream.
+        if let Some(ch) = self.chaos.as_mut() {
+            if ch.drop_prob > 0.0 && ch.rng.gen_bool(ch.drop_prob) {
+                self.stats.dropped += 1;
+                self.stats.chaos_drops += 1;
+                act.dropped.push(pkt);
+                return act;
+            }
+        }
         pkt.advance_hop();
         act.completed = Some(pkt);
-        act.want_start = !self.sched.is_empty();
         act
     }
 
@@ -442,10 +478,12 @@ impl Link {
             if gen != self.tx_gen {
                 continue; // stale completion from a preempted transmission
             }
-            let a = self.tx_done(gen, now);
+            let mut a = self.tx_done(gen, now);
             debug_assert!(act.completed.is_none(), "two live completions in one batch");
             act.completed = a.completed;
             act.want_start = a.want_start;
+            // A chaos wire loss surfaces as a drop instead of a completion.
+            act.dropped.append(&mut a.dropped);
         }
         act
     }
@@ -455,7 +493,7 @@ impl Link {
     /// `StartTx` event; redundant calls are no-ops.
     /// Returns the `(tx_end, generation)` pair for the completion event.
     pub fn try_start(&mut self, now: Time) -> Option<(Time, u64)> {
-        if self.inflight.is_some() {
+        if self.inflight.is_some() || self.chaos.as_ref().is_some_and(|c| c.blocked()) {
             return None;
         }
         let mut q = self.sched.dequeue()?;
@@ -524,6 +562,99 @@ impl Link {
         // The suspended packet is back in the queue: the depth high-water
         // mark must see it, like every other enqueue path does.
         self.stats.max_queue_pkts = self.stats.max_queue_pkts.max(self.sched.len());
+    }
+
+    /// True once a chaos policy is installed on this link.
+    pub fn chaos_installed(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Kill the in-service transmission, if any, accounting the wire
+    /// time already spent and surfacing the packet as a chaos drop. The
+    /// scheduled `TxDone` is invalidated through the generation counter,
+    /// exactly like a preemption.
+    fn chaos_kill_inflight(&mut self, now: Time, act: &mut PortActions) {
+        if let Some(fl) = self.inflight.take() {
+            self.tx_gen += 1; // the stale TxDone will miss the generation
+            self.stats.busy += now - fl.tx_start;
+            self.stats.dropped += 1;
+            self.stats.chaos_drops += 1;
+            act.dropped.push(fl.q.pkt);
+        }
+    }
+
+    /// The link fails: the in-service packet and the whole scheduler
+    /// queue are lost (every [`Scheduler`] drains through its own
+    /// `dequeue`, so internal state stays consistent), and arrivals are
+    /// refused until [`Link::chaos_recover`].
+    pub(crate) fn chaos_fail(&mut self, now: Time) -> PortActions {
+        let mut act = PortActions::default();
+        self.chaos_kill_inflight(now, &mut act);
+        while let Some(q) = self.sched.dequeue() {
+            self.queued_bytes -= q.pkt.size as u64;
+            self.stats.dropped += 1;
+            self.stats.chaos_drops += 1;
+            act.dropped.push(q.pkt);
+        }
+        debug_assert_eq!(self.queued_bytes, 0, "drained queue must hold 0 bytes");
+        let ch = self.chaos.as_mut().expect("chaos_fail without a policy");
+        if !ch.blocked() {
+            ch.outage_since = now;
+        }
+        ch.down = true;
+        self.stats.chaos_downs += 1;
+        act
+    }
+
+    /// The link comes back up; service resumes if packets are queued
+    /// (they can only have arrived while merely jammed, not down).
+    pub(crate) fn chaos_recover(&mut self, now: Time) -> PortActions {
+        let mut act = PortActions::default();
+        let ch = self.chaos.as_mut().expect("chaos_recover without a policy");
+        if ch.down {
+            ch.down = false;
+            if !ch.jammed {
+                self.stats.chaos_outage += now - ch.outage_since;
+            }
+        }
+        act.want_start = self.inflight.is_none()
+            && !self.sched.is_empty()
+            && !self.chaos.as_ref().is_some_and(|c| c.blocked());
+        act
+    }
+
+    /// A jamming window opens: the in-service packet is lost and the
+    /// transmitter stays silent, but — unlike a failure — the queue
+    /// survives and keeps accepting arrivals.
+    pub(crate) fn chaos_jam_start(&mut self, now: Time) -> PortActions {
+        let mut act = PortActions::default();
+        self.chaos_kill_inflight(now, &mut act);
+        let ch = self
+            .chaos
+            .as_mut()
+            .expect("chaos_jam_start without a policy");
+        if !ch.blocked() {
+            ch.outage_since = now;
+        }
+        ch.jammed = true;
+        self.stats.chaos_jams += 1;
+        act
+    }
+
+    /// The jamming window closes; service resumes on the surviving queue.
+    pub(crate) fn chaos_jam_end(&mut self, now: Time) -> PortActions {
+        let mut act = PortActions::default();
+        let ch = self.chaos.as_mut().expect("chaos_jam_end without a policy");
+        if ch.jammed {
+            ch.jammed = false;
+            if !ch.down {
+                self.stats.chaos_outage += now - ch.outage_since;
+            }
+        }
+        act.want_start = self.inflight.is_none()
+            && !self.sched.is_empty()
+            && !self.chaos.as_ref().is_some_and(|c| c.blocked());
+        act
     }
 
     /// Wrap a packet in its queue entry, computing the static per-hop

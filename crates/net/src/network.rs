@@ -38,13 +38,15 @@
 //!   bandwidth and positive propagation delay, a completion whose queue
 //!   is non-empty starts the next transmission inline rather than through
 //!   a deferred event. Inline starts are safe exactly then: all
-//!   same-instant arrivals pop (class 0) before any completion (class 2),
+//!   same-instant arrivals pop (class 1) before any completion (class 3),
 //!   and with positive delays no *new* same-instant arrival can be
 //!   created once completions are being processed — so the scheduler
 //!   state seen inline equals what the deferred `StartTx` would have
 //!   seen. Networks with infinite-bandwidth or zero-delay "theory" links
-//!   keep full deferral automatically.
+//!   keep full deferral automatically, as do networks with a chaos
+//!   policy installed ([`Network::install_chaos`]).
 
+use crate::chaos::{self, ChaosPhase, ChaosPolicy, ChaosTotals};
 use crate::link::Link;
 use crate::node::{NextHop, Node, NodeKind};
 use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketKind, Path, SchedHeader};
@@ -56,11 +58,13 @@ use std::sync::Arc;
 use ups_obs::{NetSeries, SamplePoint};
 use ups_sim::{Bandwidth, Dur, EventQueue, Time};
 
-/// Simulation events, in same-instant ordering-class order: arrivals
-/// settle first (class 0), then application timers (1), then
-/// transmission completions (2), and transmission-start decisions last
-/// (3) — so a port choosing what to send at time `t` sees every packet
-/// that has arrived by `t`, as the paper's formal model assumes.
+/// Simulation events, in same-instant ordering-class order: chaos
+/// transitions settle first (class 0), then arrivals (1), application
+/// timers (2), transmission completions (3), and transmission-start
+/// decisions last — so a port choosing what to send at time `t` sees
+/// every packet that has arrived by `t`, as the paper's formal model
+/// assumes, and a failure at `t` is in force before anything else
+/// happens at `t`.
 ///
 /// `Arrive` carries a [`PacketRef`] into the network's [`PacketSlab`],
 /// not the packet itself: the event is 16 bytes and scheduling a hop
@@ -76,25 +80,34 @@ enum Ev {
     TxDone { link: LinkId, gen: u64 },
     /// Deferred transmission-start decision for `link`.
     StartTx { link: LinkId },
+    /// Chaos-layer state transition for `link` (see [`crate::chaos`];
+    /// exists only when [`Network::install_chaos`] compiled a policy).
+    Chaos { link: LinkId, phase: ChaosPhase },
     /// Telemetry sampling tick (see [`Network::enable_sampling`]).
     Observe,
 }
 
 /// Event ordering classes (see [`Ev`]). Infinite-bandwidth "wire" links
-/// start eagerly (class 3, before scheduler decisions at class 4) so a
+/// start eagerly (class 4, before scheduler decisions at class 5) so a
 /// packet cascading through zero-time hops reaches its next real queue
 /// within the same instant, before any port there picks what to send.
 mod class {
-    pub const ARRIVE: u8 = 0;
-    pub const TIMER: u8 = 1;
-    pub const TX_DONE: u8 = 2;
-    pub const START_WIRE: u8 = 3;
-    pub const START_TX: u8 = 4;
+    /// Chaos-layer transitions settle before any same-instant data-plane
+    /// event, so a failure or jam at `t` is in force for every arrival
+    /// and completion at `t`. Chaos events exist only when a policy is
+    /// installed; the class shift below is uniform, so chaos-free runs
+    /// pop in exactly the pre-chaos relative order.
+    pub const CHAOS: u8 = 0;
+    pub const ARRIVE: u8 = 1;
+    pub const TIMER: u8 = 2;
+    pub const TX_DONE: u8 = 3;
+    pub const START_WIRE: u8 = 4;
+    pub const START_TX: u8 = 5;
     /// Telemetry sampling pops *after every data-plane class* at an
     /// instant, so an observation sees the settled state of time `t`
     /// and can never reorder data-plane pops — the invariant that keeps
     /// artifacts byte-identical with sampling on.
-    pub const OBSERVE: u8 = 5;
+    pub const OBSERVE: u8 = 6;
 }
 
 /// An application endpoint attached to a host node.
@@ -328,6 +341,39 @@ impl Network {
     #[deprecated(note = "use configure_links with LinkPolicy::keep().preemptive(..)")]
     pub fn set_all_preemptive(&mut self, on: bool) {
         self.configure_links(|_| LinkPolicy::keep().preemptive(on));
+    }
+
+    /// Install a chaos perturbation layer (see [`crate::chaos`]): the
+    /// closure is consulted once per link, in link-id order, and returns
+    /// the [`ChaosPolicy`] to compile for that link — or `None` to leave
+    /// it untouched. Every failure and jamming window up to `horizon` is
+    /// compiled into explicit events in the dedicated chaos class right
+    /// here, so the run is a pure function of `(topology, workload,
+    /// policy, horizon)`; the i.i.d. wire-loss stream is forked per link
+    /// from the policy seed, independent of every workload RNG.
+    ///
+    /// Installing any policy disables the inline-start elision: chaos
+    /// transitions mutate port state mid-instant, so chaotic runs keep
+    /// the fully deferred reference semantics (correctness never
+    /// depended on the elision — only chaos-free speed does).
+    pub fn install_chaos(
+        &mut self,
+        horizon: Time,
+        mut policy: impl FnMut(&Link) -> Option<ChaosPolicy>,
+    ) {
+        for i in 0..self.links.len() {
+            let Some(p) = policy(&self.links[i]) else {
+                continue;
+            };
+            let lid = self.links[i].id;
+            let (state, events) = chaos::compile(&p, lid, horizon);
+            for (t, phase) in events {
+                self.queue
+                    .push(t, class::CHAOS, Ev::Chaos { link: lid, phase });
+            }
+            self.links[i].chaos = Some(Box::new(state));
+            self.eager_ok = false;
+        }
     }
 
     /// Attach an application to a host node.
@@ -634,6 +680,7 @@ impl Network {
             }
             Ev::Timer { node, id } => self.dispatch_timer(node, id),
             Ev::StartTx { link } => self.handle_start_tx(link, now),
+            Ev::Chaos { link, phase } => self.handle_chaos(link, phase, now),
             Ev::Observe => unreachable!("handled before dispatch"),
         }
         // Cache-warm the state the *next* pending event will touch while
@@ -857,6 +904,21 @@ impl Network {
         self.apply_port_actions(lid, actions, now, true);
     }
 
+    /// Apply one chaos transition to its link and route the fallout
+    /// (killed/drained packets, restart requests) through the normal
+    /// port-action plumbing, so chaos drops hit [`Telemetry::on_drop`]
+    /// like any buffer drop.
+    fn handle_chaos(&mut self, lid: LinkId, phase: ChaosPhase, now: Time) {
+        let link = &mut self.links[lid.0 as usize];
+        let actions = match phase {
+            ChaosPhase::Down => link.chaos_fail(now),
+            ChaosPhase::Up => link.chaos_recover(now),
+            ChaosPhase::JamStart => link.chaos_jam_start(now),
+            ChaosPhase::JamEnd => link.chaos_jam_end(now),
+        };
+        self.apply_port_actions(lid, actions, now, false);
+    }
+
     fn handle_start_tx(&mut self, lid: LinkId, now: Time) {
         self.links[lid.0 as usize].start_pending = false;
         if let Some((end, gen)) = self.links[lid.0 as usize].try_start(now) {
@@ -950,6 +1012,34 @@ impl Network {
     /// All link ids.
     pub fn link_ids(&self) -> Vec<LinkId> {
         (0..self.links.len() as u32).map(LinkId).collect()
+    }
+
+    /// Aggregate chaos-layer counters over every link (all zero when no
+    /// policy is installed).
+    pub fn chaos_totals(&self) -> ChaosTotals {
+        let mut t = ChaosTotals::default();
+        for l in &self.links {
+            t.drops += l.stats.chaos_drops;
+            t.downs += l.stats.chaos_downs;
+            t.jams += l.stats.chaos_jams;
+            t.outage += l.stats.chaos_outage;
+        }
+        t
+    }
+
+    /// Accumulate the chaos counters into an [`ups_obs::Registry`]:
+    /// `chaos_drops`, `chaos_link_downs`, `chaos_jam_windows`, and
+    /// `chaos_outage_us` (total down/jam time, µs).
+    pub fn export_chaos_metrics(&self, reg: &mut ups_obs::Registry) {
+        let t = self.chaos_totals();
+        let id = reg.counter("chaos_drops");
+        reg.add(id, t.drops);
+        let id = reg.counter("chaos_link_downs");
+        reg.add(id, t.downs);
+        let id = reg.counter("chaos_jam_windows");
+        reg.add(id, t.jams);
+        let id = reg.counter("chaos_outage_us");
+        reg.add(id, t.outage.as_ps() / ups_sim::PS_PER_US);
     }
 
     /// The slowest link bandwidth in the network (paper's threshold `T` is

@@ -345,6 +345,13 @@ fn cell_json(r: &SweepResult) -> Json {
         ("topo", Json::Str(r.coord.topo.label())),
         ("original", Json::Str(r.coord.sched.label().to_string())),
         ("util", Json::Num(r.coord.util)),
+    ];
+    // The chaos coordinate appears only on perturbed cells, so clean
+    // grids (every committed baseline) keep the pre-chaos schema.
+    if r.coord.chaos.enabled() {
+        members.push(("chaos_drop_ppm", Json::UInt(r.coord.chaos.drop_ppm as u64)));
+    }
+    members.extend([
         ("replicates", Json::UInt(r.replicates as u64)),
         ("total_packets", stat_json(&r.total)),
         ("frac_overdue", stat_json(&r.frac_overdue)),
@@ -352,7 +359,7 @@ fn cell_json(r: &SweepResult) -> Json {
         ("t_us", stat_json(&r.t_us)),
         ("max_congestion_points", stat_json(&r.max_cp)),
         ("mean_slack_us", stat_json(&r.mean_slack_us)),
-    ];
+    ]);
     // Deadline members appear only for deadline-tagged workloads, so
     // deadline-free artifacts (every committed baseline) stay
     // byte-identical to the pre-deadline schema.
@@ -361,6 +368,14 @@ fn cell_json(r: &SweepResult) -> Json {
         members.push(("deadline_miss_rate", stat_json(&d.miss_rate)));
         members.push(("mean_lateness_us", stat_json(&d.mean_lateness_us)));
         members.push(("p99_lateness_us", stat_json(&d.p99_lateness_us)));
+    }
+    // Chaos outcome members, likewise only on perturbed cells — the
+    // degradation-curve payload (fidelity and loss vs drop rate).
+    if let Some(c) = &r.chaos {
+        members.push(("fidelity", stat_json(&c.fidelity)));
+        members.push(("frac_lost", stat_json(&c.frac_lost)));
+        members.push(("chaos_drops", stat_json(&c.chaos_drops)));
+        members.push(("chaos_outage_us", stat_json(&c.outage_us)));
     }
     Json::obj(members)
 }
@@ -405,11 +420,16 @@ impl SweepReport {
     /// The per-cell table as CSV: one header line, one line per cell,
     /// mean and stddev columns for every metric.
     pub fn to_csv(&self) -> String {
-        // Deadline columns extend the header only when some cell has
-        // deadline data, keeping deadline-free CSVs byte-identical.
+        // Deadline and chaos columns extend the header only when some
+        // cell has the data, keeping classic CSVs byte-identical.
         let has_deadline = self.results.iter().any(|r| r.deadline.is_some());
-        let mut out = String::from(
-            "topo,original,util,replicates,\
+        let has_chaos = self.results.iter().any(|r| r.chaos.is_some());
+        let mut out = String::from("topo,original,util,");
+        if has_chaos {
+            out.push_str("chaos_drop_ppm,");
+        }
+        out.push_str(
+            "replicates,\
              total_mean,total_stddev,\
              frac_overdue_mean,frac_overdue_stddev,\
              frac_overdue_gt_t_mean,frac_overdue_gt_t_stddev,\
@@ -423,6 +443,14 @@ impl SweepReport {
                  deadline_miss_rate_mean,deadline_miss_rate_stddev,\
                  mean_lateness_us_mean,mean_lateness_us_stddev,\
                  p99_lateness_us_mean,p99_lateness_us_stddev",
+            );
+        }
+        if has_chaos {
+            out.push_str(
+                ",fidelity_mean,fidelity_stddev,\
+                 frac_lost_mean,frac_lost_stddev,\
+                 chaos_drops_mean,chaos_drops_stddev,\
+                 chaos_outage_us_mean,chaos_outage_us_stddev",
             );
         }
         out.push('\n');
@@ -445,13 +473,16 @@ impl SweepReport {
             }
             write!(
                 out,
-                "{},{},{},{}",
+                "{},{},{}",
                 csv_field(&r.coord.topo.label()),
                 csv_field(r.coord.sched.label()),
                 r.coord.util,
-                r.replicates
             )
             .expect("write to String");
+            if has_chaos {
+                write!(out, ",{}", r.coord.chaos.drop_ppm).expect("write to String");
+            }
+            write!(out, ",{}", r.replicates).expect("write to String");
             for s in stats {
                 write!(out, ",{},{}", s.mean, s.stddev).expect("write to String");
             }
@@ -459,6 +490,18 @@ impl SweepReport {
             // aligned with empty fields.
             if has_deadline && r.deadline.is_none() {
                 out.push_str(&",".repeat(8));
+            }
+            if has_chaos {
+                match &r.chaos {
+                    Some(c) => {
+                        for s in [&c.fidelity, &c.frac_lost, &c.chaos_drops, &c.outage_us] {
+                            write!(out, ",{},{}", s.mean, s.stddev).expect("write to String");
+                        }
+                    }
+                    // A clean control cell in a chaos grid keeps its
+                    // columns aligned with empty fields.
+                    None => out.push_str(&",".repeat(8)),
+                }
             }
             out.push('\n');
         }
@@ -623,6 +666,7 @@ mod tests {
             max_cp: 1,
             mean_slack_us: 3.5,
             deadline: None,
+            chaos: None,
         })
     }
 

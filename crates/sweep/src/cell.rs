@@ -3,7 +3,9 @@
 
 use crate::grid::{CellCoord, SimScale};
 use std::collections::HashMap;
-use ups_core::replay::{record_original, replay_schedule, ReplayMode, ReplayReport};
+use ups_core::replay::{
+    record_original, replay_schedule, replay_schedule_lossy, ReplayMode, ReplayReport,
+};
 use ups_core::workload::WorkloadKind;
 use ups_core::RecordedSchedule;
 use ups_metrics::DeadlineLedger;
@@ -32,6 +34,27 @@ pub struct CellMetrics {
     /// tagged at least one flow with a completion deadline (so cells of
     /// deadline-free workloads serialize exactly as before).
     pub deadline: Option<DeadlineCell>,
+    /// Chaos outcomes of the replay, present only when the cell's
+    /// [`crate::ChaosSpec`] is enabled (so clean cells serialize exactly
+    /// as before the chaos layer existed).
+    pub chaos: Option<ChaosCell>,
+}
+
+/// Chaos outcomes of one replicate's replay under the cell's
+/// [`crate::ChaosSpec`]: how faithful the perturbed replay stayed, and
+/// what the perturbation actually did to the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosCell {
+    /// Fraction of recorded packets delivered no later than the
+    /// original schedule ([`ReplayReport::fidelity`]).
+    pub fidelity: f64,
+    /// Fraction of recorded packets lost to the perturbation.
+    pub frac_lost: f64,
+    /// Packets the chaos layer destroyed (wire drops + failure and jam
+    /// kills), summed over every link.
+    pub chaos_drops: u64,
+    /// Total time links spent down or jammed (µs), summed over links.
+    pub outage_us: f64,
 }
 
 /// Deadline outcomes of one replicate's replay, computed through
@@ -112,6 +135,8 @@ pub struct ObservedRun {
     pub schedule: RecordedSchedule,
     /// Deadline outcomes, when the workload tagged flows.
     pub deadline: Option<DeadlineCell>,
+    /// Chaos outcomes, when the cell's spec enables perturbation.
+    pub chaos: Option<ChaosCell>,
     /// Queue/utilization time series of the record run, when sampling.
     pub series: Option<NetSeries>,
 }
@@ -133,13 +158,36 @@ pub fn record_and_replay_observed(
     let schedule = record_original(&mut orig_topo, &flows, coord.sched, seed, 1500);
     let series = orig_topo.net.take_series();
     drop(orig_topo);
+    // The record leg always runs clean — chaos perturbs the *replay*
+    // only, so the degradation curve measures how the recorded schedule
+    // survives an unreliable network, not a different schedule.
     let mut replay_topo = coord.topo.build(sim);
-    let report = replay_schedule(&mut replay_topo, &schedule, mode);
+    let (report, chaos) = match coord.chaos.to_policy() {
+        None => (replay_schedule(&mut replay_topo, &schedule, mode), None),
+        Some(policy) => {
+            // Windows are precomputed to a horizon; replay drains past
+            // the arrival horizon, so leave generous headroom.
+            let chaos_horizon = Time::ZERO + sim.horizon * 8;
+            replay_topo
+                .net
+                .install_chaos(chaos_horizon, |_| Some(policy.clone()));
+            let report = replay_schedule_lossy(&mut replay_topo, &schedule, mode);
+            let totals = replay_topo.net.chaos_totals();
+            let cell = ChaosCell {
+                fidelity: report.fidelity(),
+                frac_lost: report.frac_lost(),
+                chaos_drops: totals.drops,
+                outage_us: totals.outage.as_micros_f64(),
+            };
+            (report, Some(cell))
+        }
+    };
     let deadline = deadline_cell(&flows, &replay_topo.net.telemetry);
     ObservedRun {
         report,
         schedule,
         deadline,
+        chaos,
         series,
     }
 }
@@ -198,6 +246,7 @@ impl CellMetrics {
             max_cp: schedule.max_congestion_points(),
             mean_slack_us: schedule.mean_slack() / 1e6,
             deadline: None,
+            chaos: None,
         }
     }
 }
@@ -220,13 +269,14 @@ pub fn run_cell_workload(
     let run = record_and_replay_observed(coord, sim, seed, ReplayMode::lstf(), workload);
     let mut metrics = CellMetrics::of(&run.report, &run.schedule);
     metrics.deadline = run.deadline;
+    metrics.chaos = run.chaos;
     metrics
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::TopoKind;
+    use crate::grid::{ChaosSpec, TopoKind};
     use ups_sched::SchedKind;
     use ups_sim::Dur;
     use ups_topo::internet2::I2Variant;
@@ -246,6 +296,7 @@ mod tests {
             topo: TopoKind::I2(I2Variant::Default1g10g),
             sched: SchedKind::Random,
             util: 0.5,
+            chaos: ChaosSpec::OFF,
         };
         let a = run_cell(&coord, &tiny(), 7);
         let b = run_cell(&coord, &tiny(), 7);
@@ -253,8 +304,36 @@ mod tests {
         assert_eq!(a.total, b.total);
         assert_eq!(a.frac_overdue, b.frac_overdue);
         assert_eq!(a.mean_slack_us, b.mean_slack_us);
+        assert!(a.chaos.is_none());
         // A different seed draws a different workload.
         let c = run_cell(&coord, &tiny(), 8);
         assert_ne!(a.total, c.total);
+    }
+
+    #[test]
+    fn chaos_cell_reports_losses_and_leaves_clean_cells_alone() {
+        let clean = CellCoord {
+            topo: TopoKind::I2(I2Variant::Default1g10g),
+            sched: SchedKind::Random,
+            util: 0.5,
+            chaos: ChaosSpec::OFF,
+        };
+        let lossy = CellCoord {
+            chaos: ChaosSpec::drop(50_000), // 5% — heavy, so losses show
+            ..clean
+        };
+        let a = run_cell_workload(&clean, &tiny(), 7, WorkloadKind::Web);
+        let b = run_cell_workload(&lossy, &tiny(), 7, WorkloadKind::Web);
+        // Chaos perturbs only the replay leg: the recorded schedule (and
+        // thus the packet population) is identical across drop rates.
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.mean_slack_us, b.mean_slack_us);
+        let chaos = b.chaos.expect("lossy cell reports chaos outcomes");
+        assert!(chaos.chaos_drops > 0);
+        assert!(chaos.frac_lost > 0.0);
+        assert!(chaos.fidelity < 1.0);
+        // Deterministic for a fixed seed.
+        let b2 = run_cell_workload(&lossy, &tiny(), 7, WorkloadKind::Web);
+        assert_eq!(b.chaos, b2.chaos);
     }
 }

@@ -136,14 +136,18 @@ fn scalar_str(v: &Json) -> String {
 }
 
 /// The grid coordinate of a cell-like object, if it has one: table
-/// cells key by `(topo, original, util)`, figure series by `series`,
+/// cells key by `(topo, original, util)` — extended with the chaos
+/// drop rate when the cell carries one — figure series by `series`,
 /// figure points by `x`.
 fn coord_key(v: &Json) -> Option<String> {
     let Json::Obj(members) = v else { return None };
     let get = |k: &str| members.iter().find(|(key, _)| key == k).map(|(_, v)| v);
     if let (Some(t), Some(o), Some(u)) = (get("topo"), get("original"), get("util")) {
+        let chaos = get("chaos_drop_ppm")
+            .map(|d| format!(",chaos_drop_ppm={}", scalar_str(d)))
+            .unwrap_or_default();
         return Some(format!(
-            "topo={},original={},util={}",
+            "topo={},original={},util={}{chaos}",
             scalar_str(t),
             scalar_str(o),
             scalar_str(u)
@@ -269,6 +273,7 @@ mod tests {
             max_cp: 1,
             mean_slack_us: 3.5,
             deadline: None,
+            chaos: None,
         })
         .to_json()
     }
@@ -315,6 +320,7 @@ mod tests {
             max_cp: 0,
             mean_slack_us: 0.0,
             deadline: None,
+            chaos: None,
         });
         let big = run_sweep_with(&SweepSpec::util_grid(), "test", 1, |_: &Job| CellMetrics {
             total: 1,
@@ -324,6 +330,7 @@ mod tests {
             max_cp: 0,
             mean_slack_us: 0.0,
             deadline: None,
+            chaos: None,
         });
         let report =
             diff_artifacts(&big.to_json(), &small.to_json(), &DiffOptions::default()).unwrap();

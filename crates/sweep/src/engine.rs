@@ -56,6 +56,9 @@ pub struct SweepResult {
     /// Deadline outcomes, aggregated when every replicate reported them
     /// (i.e. the workload tags flows with completion deadlines).
     pub deadline: Option<DeadlineAgg>,
+    /// Chaos outcomes, aggregated when every replicate reported them
+    /// (i.e. the cell's [`crate::ChaosSpec`] is enabled).
+    pub chaos: Option<ChaosAgg>,
 }
 
 /// Per-cell aggregate of the replicates' deadline outcomes.
@@ -69,6 +72,19 @@ pub struct DeadlineAgg {
     pub mean_lateness_us: Stat,
     /// 99th-percentile lateness (µs, log2-bucket upper bound).
     pub p99_lateness_us: Stat,
+}
+
+/// Per-cell aggregate of the replicates' chaos outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosAgg {
+    /// Replay fidelity (delivered on time / recorded).
+    pub fidelity: Stat,
+    /// Fraction of recorded packets lost to the perturbation.
+    pub frac_lost: Stat,
+    /// Packets destroyed by the chaos layer, summed over links.
+    pub chaos_drops: Stat,
+    /// Total link down/jam time (µs), summed over links.
+    pub outage_us: Stat,
 }
 
 /// A completed sweep: spec metadata plus one [`SweepResult`] per cell,
@@ -140,6 +156,16 @@ pub(crate) fn aggregate_cells(
                     miss_rate: Stat::of(ds.iter().map(|d| d.miss_rate)),
                     mean_lateness_us: Stat::of(ds.iter().map(|d| d.mean_lateness_us)),
                     p99_lateness_us: Stat::of(ds.iter().map(|d| d.p99_lateness_us)),
+                }),
+            chaos: reps
+                .iter()
+                .map(|m| m.chaos)
+                .collect::<Option<Vec<_>>>()
+                .map(|cs| ChaosAgg {
+                    fidelity: Stat::of(cs.iter().map(|c| c.fidelity)),
+                    frac_lost: Stat::of(cs.iter().map(|c| c.frac_lost)),
+                    chaos_drops: Stat::of(cs.iter().map(|c| c.chaos_drops as f64)),
+                    outage_us: Stat::of(cs.iter().map(|c| c.outage_us)),
                 }),
         })
         .collect();
@@ -291,6 +317,7 @@ mod tests {
             max_cp: job.cell,
             mean_slack_us: 1.0,
             deadline: None,
+            chaos: None,
         }
     }
 

@@ -90,6 +90,91 @@ impl TopoKind {
     }
 }
 
+/// Seed of the chaos RNG stream when a spec doesn't pick its own.
+/// Deliberately disjoint from workload `base_seed` values (which start
+/// at 1) so perturbation draws never alias workload draws.
+pub const DEFAULT_CHAOS_SEED: u64 = 0xC11A05;
+
+/// Grid-level description of a [`ups_net::ChaosPolicy`], in integer
+/// units so cell coordinates stay `Copy + PartialEq` and artifact
+/// coordinates stay exactly representable. All-zero (`ChaosSpec::OFF`)
+/// means no chaos: the cell replays on the strict (loss-free) path and
+/// its artifact bytes are identical to a build without the chaos layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// I.i.d. per-packet wire-drop probability, in parts per million.
+    pub drop_ppm: u32,
+    /// Periodic link-failure period in microseconds (0 = no failures).
+    pub fail_period_us: u32,
+    /// Down time per failure window in microseconds.
+    pub fail_down_us: u32,
+    /// Periodic jamming period in microseconds (0 = no jamming).
+    pub jam_period_us: u32,
+    /// Jam burst length in microseconds.
+    pub jam_burst_us: u32,
+    /// Chaos RNG seed (independent of the workload seed by design).
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// No perturbation: the strict replay path, byte-identical to the
+    /// pre-chaos baselines.
+    pub const OFF: ChaosSpec = ChaosSpec {
+        drop_ppm: 0,
+        fail_period_us: 0,
+        fail_down_us: 0,
+        jam_period_us: 0,
+        jam_burst_us: 0,
+        seed: DEFAULT_CHAOS_SEED,
+    };
+
+    /// Pure i.i.d. loss at the given rate; `0` canonicalizes to
+    /// [`ChaosSpec::OFF`] so drop-rate sweeps include an exact control
+    /// cell.
+    pub fn drop(ppm: u32) -> ChaosSpec {
+        if ppm == 0 {
+            ChaosSpec::OFF
+        } else {
+            ChaosSpec {
+                drop_ppm: ppm,
+                ..ChaosSpec::OFF
+            }
+        }
+    }
+
+    /// Whether any perturbation is configured.
+    pub fn enabled(&self) -> bool {
+        self.drop_ppm > 0 || self.fail_period_us > 0 || self.jam_period_us > 0
+    }
+
+    /// Lower into the `ups-net` policy, or `None` when disabled (so
+    /// disabled cells never even install the chaos hook and keep the
+    /// wire fast path).
+    pub fn to_policy(&self) -> Option<ups_net::ChaosPolicy> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut p = ups_net::ChaosPolicy::new(self.seed);
+        if self.drop_ppm > 0 {
+            p = p.drop_prob(self.drop_ppm as f64 / 1e6);
+        }
+        if self.fail_period_us > 0 {
+            p = p.fail_periodic(
+                Dur::from_micros(self.fail_period_us as u64),
+                Dur::from_micros(self.fail_down_us as u64),
+            );
+        }
+        if self.jam_period_us > 0 {
+            p = p.jam(ups_net::JamSpec::Periodic {
+                start: ups_sim::Time::ZERO + Dur::from_micros(self.jam_period_us as u64),
+                period: Dur::from_micros(self.jam_period_us as u64),
+                burst: Dur::from_micros(self.jam_burst_us as u64),
+            });
+        }
+        Some(p)
+    }
+}
+
 /// One cell of the sweep grid (the seed replicate is *not* part of the
 /// coordinate — replicates of the same cell aggregate into one
 /// [`crate::SweepResult`]).
@@ -101,6 +186,9 @@ pub struct CellCoord {
     pub sched: SchedKind,
     /// Target utilization of the most-loaded core link.
     pub util: f64,
+    /// Perturbation applied to the replay leg ([`ChaosSpec::OFF`] for
+    /// the classic clean grids).
+    pub chaos: ChaosSpec,
 }
 
 /// One unit of work: a cell coordinate plus a seed replicate.
@@ -153,7 +241,12 @@ impl SweepSpec {
         for &topo in topos {
             for &sched in scheds {
                 for &util in utils {
-                    spec.cells.push(CellCoord { topo, sched, util });
+                    spec.cells.push(CellCoord {
+                        topo,
+                        sched,
+                        util,
+                        chaos: ChaosSpec::OFF,
+                    });
                 }
             }
         }
@@ -171,6 +264,7 @@ impl SweepSpec {
                 topo: i2,
                 sched: SchedKind::Random,
                 util,
+                chaos: ChaosSpec::OFF,
             });
         }
         for variant in [I2Variant::Access1g1g, I2Variant::Access10g10g] {
@@ -178,6 +272,7 @@ impl SweepSpec {
                 topo: TopoKind::I2(variant),
                 sched: SchedKind::Random,
                 util: 0.7,
+                chaos: ChaosSpec::OFF,
             });
         }
         for topo in [TopoKind::RocketFuel, TopoKind::FatTree] {
@@ -185,6 +280,7 @@ impl SweepSpec {
                 topo,
                 sched: SchedKind::Random,
                 util: 0.7,
+                chaos: ChaosSpec::OFF,
             });
         }
         for sched in [
@@ -198,6 +294,7 @@ impl SweepSpec {
                 topo: i2,
                 sched,
                 util: 0.7,
+                chaos: ChaosSpec::OFF,
             });
         }
         spec
@@ -454,6 +551,18 @@ mod tests {
     fn fig_replicates_clamp_to_at_least_one() {
         let spec = FigSpec::new("f", "t", vec![], FigAxis::numeric("x", vec![]));
         assert_eq!(spec.with_replicates(0).replicates, 1);
+    }
+
+    #[test]
+    fn chaos_spec_canonicalizes_and_lowers() {
+        assert_eq!(ChaosSpec::drop(0), ChaosSpec::OFF);
+        assert!(!ChaosSpec::OFF.enabled());
+        assert!(ChaosSpec::OFF.to_policy().is_none());
+        let loss = ChaosSpec::drop(10_000);
+        assert!(loss.enabled());
+        assert!(loss.to_policy().is_some());
+        // Clean grids carry the exact OFF spec in every cell.
+        assert!(SweepSpec::table1().cells.iter().all(|c| !c.chaos.enabled()));
     }
 
     #[test]

@@ -70,6 +70,7 @@
 //! | `topo` | string | topology label (coordinate, ⅓) |
 //! | `original` | string | original-scheduler label (coordinate, ⅔) |
 //! | `util` | number | target utilization of the most-loaded core link (coordinate, 3/3) |
+//! | `chaos_drop_ppm` | integer, *optional* | replay-leg drop rate (extra coordinate, perturbed cells only) |
 //! | `replicates` | integer | replicates actually aggregated |
 //! | `total_packets` | stat | packets replayed |
 //! | `frac_overdue` | stat | fraction of packets late in the LSTF replay |
@@ -81,18 +82,27 @@
 //! | `deadline_miss_rate` | stat, *optional* | fraction of tagged flows late or unfinished |
 //! | `mean_lateness_us` | stat, *optional* | mean lateness (µs) over late completions |
 //! | `p99_lateness_us` | stat, *optional* | p99 lateness (µs, log2-bucket upper bound) |
+//! | `fidelity` | stat, *optional* | fraction delivered on time under chaos (perturbed cells only) |
+//! | `frac_lost` | stat, *optional* | fraction of recorded packets lost to the perturbation |
+//! | `chaos_drops` | stat, *optional* | packets destroyed by the chaos layer, all links |
+//! | `chaos_outage_us` | stat, *optional* | total link down/jam time (µs), all links |
 //!
 //! where a **stat** is `{"mean": …, "stddev": …, "stderr": …}` over the
 //! cell's seed replicates (stddev/stderr are 0 for a single replicate;
 //! non-finite values render as `null`). The four deadline members
 //! appear **only** when the workload tags flows with completion
-//! deadlines (e.g. the `i2-deadline-mix` scenario) — deadline-free
-//! artifacts are byte-identical to the pre-deadline schema.
+//! deadlines (e.g. the `i2-deadline-mix` scenario), and the
+//! `chaos_drop_ppm` coordinate and four chaos members **only** when the
+//! cell's [`ChaosSpec`] is enabled (e.g. the `i2-web-loss` and
+//! `dc-k8-web-chaos` scenarios) — deadline-free, chaos-free artifacts
+//! are byte-identical to the pre-deadline, pre-chaos schema.
 //!
 //! CSV: one header line, one line per cell —
 //! `topo,original,util,replicates` followed by `<metric>_mean,<metric>_stddev`
 //! pairs for the six metrics above, in the same order (plus the four
-//! deadline pairs when any cell has deadline data).
+//! deadline pairs when any cell has deadline data, a `chaos_drop_ppm`
+//! coordinate column after `util` and the four chaos pairs at the end
+//! when any cell is perturbed).
 //!
 //! ## Figure artifacts (`FigReport`, `"kind": "figure"`)
 //!
@@ -147,7 +157,8 @@
 //! | `interval_us` | number | sampling cadence (µs) |
 //! | `cells` | array | one object per grid cell, in spec order |
 //!
-//! Each cell carries the `topo`/`original`/`util` coordinate keys,
+//! Each cell carries the `topo`/`original`/`util` coordinate keys
+//! (plus `chaos_drop_ppm` on perturbed cells),
 //! `replicates` (that produced a series), `links`, and a `series`
 //! array: one `{"series": <name>, "points": [{"x": …, "mean": …,
 //! "stddev": …, "stderr": …}, …]}` object per sampled quantity
@@ -172,14 +183,17 @@ pub mod telemetry;
 pub use artifact::Json;
 pub use cell::{
     record_and_replay, record_and_replay_observed, record_and_replay_workload, run_cell,
-    run_cell_workload, CellMetrics, DeadlineCell, DistMetrics, ObservedRun,
+    run_cell_workload, CellMetrics, ChaosCell, DeadlineCell, DistMetrics, ObservedRun,
 };
 pub use diff::{diff_artifacts, DiffOptions, DiffReport};
 pub use engine::{
-    run_fig_with, run_sweep, run_sweep_with, DeadlineAgg, DistResult, FigReport, Stat, SweepReport,
-    SweepResult,
+    run_fig_with, run_sweep, run_sweep_with, ChaosAgg, DeadlineAgg, DistResult, FigReport, Stat,
+    SweepReport, SweepResult,
 };
-pub use grid::{CellCoord, FigAxis, FigJob, FigSpec, Job, SimScale, SweepSpec, TopoKind};
+pub use grid::{
+    CellCoord, ChaosSpec, FigAxis, FigJob, FigSpec, Job, SimScale, SweepSpec, TopoKind,
+    DEFAULT_CHAOS_SEED,
+};
 pub use perf::PerfEntry;
 pub use scenario::Scenario;
 pub use telemetry::{run_telemetry_sweep, TelemetryCell, TelemetryReport, TelemetrySeries};

@@ -26,7 +26,7 @@
 
 use crate::cell::run_cell_workload;
 use crate::engine::{run_sweep_with, SweepReport};
-use crate::grid::{SimScale, SweepSpec, TopoKind};
+use crate::grid::{CellCoord, ChaosSpec, SimScale, SweepSpec, TopoKind};
 use ups_core::WorkloadKind;
 use ups_sched::SchedKind;
 use ups_topo::internet2::I2Variant;
@@ -50,13 +50,31 @@ pub struct Scenario {
     pub scheds: &'static [SchedKind],
     /// Target utilizations (one grid column each).
     pub utils: &'static [f64],
+    /// Replay-leg drop rates in parts per million (one grid column
+    /// each). `&[0]` for the classic clean scenarios; a chaos scenario
+    /// sweeps several rates, and rate 0 is the exact clean control.
+    pub drops: &'static [u32],
 }
 
 impl Scenario {
-    /// Expand into the sweep grid: `[topo] × scheds × utils`, named
-    /// after the scenario so artifacts land as `<name>.json`/`.csv`.
+    /// Expand into the sweep grid: `[topo] × scheds × utils × drops`,
+    /// named after the scenario so artifacts land as
+    /// `<name>.json`/`.csv`.
     pub fn spec(&self) -> SweepSpec {
-        SweepSpec::cartesian(self.name, &[self.topo], self.scheds, self.utils)
+        let mut spec = SweepSpec::new(self.name);
+        for &sched in self.scheds {
+            for &util in self.utils {
+                for &ppm in self.drops {
+                    spec.cells.push(CellCoord {
+                        topo: self.topo,
+                        sched,
+                        util,
+                        chaos: ChaosSpec::drop(ppm),
+                    });
+                }
+            }
+        }
+        spec
     }
 
     /// Run the scenario's grid at `sim` scale on up to `jobs` workers.
@@ -89,12 +107,25 @@ impl Scenario {
             .map(|s| s.label())
             .collect::<Vec<_>>()
             .join(", ");
+        let drops = if self.drops == [0] {
+            String::new()
+        } else {
+            format!(
+                "drops:     {} ppm\n",
+                self.drops
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
         format!(
             "{name} — {title}\n\
              topology:  {topo}\n\
              workload:  {workload}\n\
              originals: {scheds}\n\
              utils:     {utils}\n\
+             {drops}\
              cells:     {cells}\n\n\
              {detail}\n\n\
              run:       cargo run --release --bin sweep -- --grid {name} --jobs 4\n\
@@ -103,7 +134,7 @@ impl Scenario {
             title = self.title,
             topo = self.topo.label(),
             workload = self.workload.label(),
-            cells = self.scheds.len() * self.utils.len(),
+            cells = self.scheds.len() * self.utils.len() * self.drops.len(),
             detail = self.detail,
         )
     }
@@ -122,6 +153,7 @@ pub const REGISTRY: &[Scenario] = &[
         workload: WorkloadKind::Web,
         scheds: &[SchedKind::Random],
         utils: &[0.1, 0.3, 0.5, 0.7, 0.9],
+        drops: &[0],
     },
     Scenario {
         name: "i2-deadline-mix",
@@ -135,6 +167,7 @@ pub const REGISTRY: &[Scenario] = &[
         workload: WorkloadKind::DeadlineMix,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
+        drops: &[0],
     },
     Scenario {
         name: "rocketfuel-full",
@@ -148,6 +181,7 @@ pub const REGISTRY: &[Scenario] = &[
         workload: WorkloadKind::Web,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
+        drops: &[0],
     },
     Scenario {
         name: "dc-k8-web",
@@ -161,6 +195,7 @@ pub const REGISTRY: &[Scenario] = &[
         workload: WorkloadKind::Web,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
+        drops: &[0],
     },
     Scenario {
         name: "dc-k8-incast",
@@ -173,6 +208,7 @@ pub const REGISTRY: &[Scenario] = &[
         workload: WorkloadKind::Incast,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
+        drops: &[0],
     },
     Scenario {
         name: "dc-k4-incast-sched",
@@ -185,6 +221,36 @@ pub const REGISTRY: &[Scenario] = &[
         workload: WorkloadKind::Incast,
         scheds: &[SchedKind::Fifo, SchedKind::Sjf, SchedKind::Random],
         utils: &[0.7],
+        drops: &[0],
+    },
+    Scenario {
+        name: "i2-web-loss",
+        title: "Internet2 web replay under seeded i.i.d. packet loss",
+        detail: "The degradation-curve scenario on the WAN: the recorded \
+                 Random-original schedule replays over a network that drops \
+                 packets i.i.d. at 0 / 0.1% / 1% from a dedicated chaos RNG \
+                 stream. Rate 0 is the exact clean control (byte-identical \
+                 to a chaos-free build); at higher rates watch fidelity fall \
+                 and frac_lost track the drop rate times mean path length.",
+        topo: TopoKind::I2(I2Variant::Default1g10g),
+        workload: WorkloadKind::Web,
+        scheds: &[SchedKind::Random],
+        utils: &[0.7],
+        drops: &[0, 1_000, 10_000],
+    },
+    Scenario {
+        name: "dc-k8-web-chaos",
+        title: "Fat-tree k=8 web replay under loss, across two originals",
+        detail: "dc-k8-web's datacenter with the same drop-rate sweep as \
+                 i2-web-loss, crossed with FIFO and Random originals: the \
+                 replay-fidelity-vs-drop-rate curve at scale, and the CI \
+                 smoke leg that gates the chaos layer (clean control cells \
+                 must stay byte-identical to the dc-k8-web baseline shape).",
+        topo: TopoKind::FatTreeK(8),
+        workload: WorkloadKind::Web,
+        scheds: &[SchedKind::Fifo, SchedKind::Random],
+        utils: &[0.7],
+        drops: &[0, 1_000, 10_000],
     },
 ];
 
@@ -205,7 +271,7 @@ pub fn render_list() -> String {
         out.push_str(&format!(
             "{:<20} {:>2} cells  {} / {} — {}\n",
             s.name,
-            s.scheds.len() * s.utils.len(),
+            s.scheds.len() * s.utils.len() * s.drops.len(),
             s.topo.label(),
             s.workload.label(),
             s.title,
@@ -240,13 +306,35 @@ mod tests {
         for s in REGISTRY {
             let spec = s.spec();
             assert_eq!(spec.name, s.name);
-            assert_eq!(spec.cells.len(), s.scheds.len() * s.utils.len());
+            assert_eq!(
+                spec.cells.len(),
+                s.scheds.len() * s.utils.len() * s.drops.len()
+            );
             assert!(!spec.cells.is_empty());
             for c in &spec.cells {
                 assert!((0.0..1.0).contains(&c.util));
                 assert_eq!(c.topo, s.topo);
             }
         }
+    }
+
+    #[test]
+    fn chaos_scenarios_sweep_drop_rates_with_a_clean_control() {
+        let s = find("dc-k8-web-chaos").unwrap();
+        let spec = s.spec();
+        assert_eq!(spec.cells.len(), 6); // 2 originals × 1 util × 3 rates
+                                         // Drop-minor expansion: every original's first cell is the
+                                         // clean control, the rest are perturbed.
+        for chunk in spec.cells.chunks(3) {
+            assert_eq!(chunk[0].chaos, ChaosSpec::OFF);
+            assert!(chunk[1].chaos.enabled() && chunk[2].chaos.enabled());
+            assert_eq!(chunk[1].chaos.drop_ppm, 1_000);
+            assert_eq!(chunk[2].chaos.drop_ppm, 10_000);
+        }
+        assert!(find("i2-web-loss").is_some());
+        // Clean scenarios never carry a perturbed cell.
+        let clean = find("dc-k8-web").unwrap().spec();
+        assert!(clean.cells.iter().all(|c| !c.chaos.enabled()));
     }
 
     #[test]

@@ -116,6 +116,7 @@ pub fn run_telemetry_sweep(
             record_and_replay_observed(&job.coord, sim, job.seed, ReplayMode::lstf(), workload);
         let mut metrics = CellMetrics::of(&run.report, &run.schedule);
         metrics.deadline = run.deadline;
+        metrics.chaos = run.chaos;
         (metrics, run.series)
     });
     ups_obs::set_sample_interval(previous);
@@ -209,14 +210,23 @@ impl TelemetryReport {
                         ])
                     })
                     .collect();
-                Json::obj(vec![
+                let mut members = vec![
                     ("topo", Json::Str(c.coord.topo.label())),
                     ("original", Json::Str(c.coord.sched.label().to_string())),
                     ("util", Json::Num(c.coord.util)),
+                ];
+                // The chaos coordinate keeps cells of a chaos grid
+                // uniquely keyed for `sweep diff`; clean grids (every
+                // committed baseline) keep the pre-chaos schema.
+                if c.coord.chaos.enabled() {
+                    members.push(("chaos_drop_ppm", Json::UInt(c.coord.chaos.drop_ppm as u64)));
+                }
+                members.extend([
                     ("replicates", Json::UInt(c.replicates as u64)),
                     ("links", Json::UInt(c.links)),
                     ("series", Json::Arr(series)),
-                ])
+                ]);
+                Json::obj(members)
             })
             .collect();
         Json::obj(vec![
@@ -232,23 +242,34 @@ impl TelemetryReport {
         .render()
     }
 
-    /// Long-format CSV: one row per (cell, series, x).
+    /// Long-format CSV: one row per (cell, series, x). The
+    /// `chaos_drop_ppm` column appears only when some cell is perturbed,
+    /// keeping clean-grid CSVs byte-identical to the pre-chaos schema.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("topo,original,util,series,x_us,mean,stddev,stderr\n");
+        let has_chaos = self.cells.iter().any(|c| c.coord.chaos.enabled());
+        let mut out = String::from("topo,original,util,");
+        if has_chaos {
+            out.push_str("chaos_drop_ppm,");
+        }
+        out.push_str("series,x_us,mean,stddev,stderr\n");
         for c in &self.cells {
             for s in &c.series {
                 for (&x, p) in self.xs_us.iter().zip(&s.points) {
-                    writeln!(
+                    write!(
                         out,
-                        "{},{},{},{},{},{},{},{}",
+                        "{},{},{}",
                         csv_field(&c.coord.topo.label()),
                         csv_field(c.coord.sched.label()),
                         c.coord.util,
-                        s.name,
-                        x,
-                        p.mean,
-                        p.stddev,
-                        p.stderr
+                    )
+                    .expect("write to String");
+                    if has_chaos {
+                        write!(out, ",{}", c.coord.chaos.drop_ppm).expect("write to String");
+                    }
+                    writeln!(
+                        out,
+                        ",{},{},{},{},{}",
+                        s.name, x, p.mean, p.stddev, p.stderr
                     )
                     .expect("write to String");
                 }

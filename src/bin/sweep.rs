@@ -34,8 +34,8 @@ use ups_net::TraceLevel;
 use ups_sim::Dur;
 use ups_sweep::scenario::{self, Scenario};
 use ups_sweep::{
-    diff_artifacts, perf, run_cell_workload, run_sweep_with, run_telemetry_sweep, DiffOptions,
-    PerfEntry, SweepReport, SweepSpec,
+    diff_artifacts, perf, run_cell_workload, run_sweep_with, run_telemetry_sweep, ChaosSpec,
+    DiffOptions, PerfEntry, SweepReport, SweepSpec,
 };
 
 const GRIDS: &str = "table1 (default), smoke, util, sched, topo, or any \
@@ -54,6 +54,10 @@ fn usage_exit(err: &str) -> ! {
          --telemetry  sample queue/utilization time series on the event wheel and\n               \
          additionally write <grid>_telemetry.json/.csv\n  \
          --telemetry-interval-us N  sampling cadence in µs (default 250; implies --telemetry)\n  \
+         --chaos-drop-ppm N     perturb every cell's replay leg: i.i.d. drop rate in ppm\n  \
+         --chaos-seed N         chaos RNG seed (default: the fixed chaos seed)\n  \
+         --chaos-fail-period-us N / --chaos-fail-down-us N   periodic link failures\n  \
+         --chaos-jam-period-us N / --chaos-jam-burst-us N    periodic jamming windows\n  \
          --rel-tol X  diff: relative tolerance per numeric value (default 0 = exact)\n  \
          --abs-tol X  diff: absolute tolerance per numeric value (default 0 = exact)\n  \
          --iters N    bench: timed iterations (default 5)\n  \
@@ -101,6 +105,83 @@ fn take_telemetry_flags(args: &mut Vec<String>) -> Result<Option<Dur>, String> {
         }
     }
     Ok(on.then(|| Dur::from_micros(interval_us)))
+}
+
+/// Strip the `--chaos-*` flags out of `args` (they would trip
+/// `Scale::parse`'s strict unknown-flag check); returns the
+/// [`ChaosSpec`] override when any chaos flag was given — the caller
+/// applies it to *every* cell of the grid it runs.
+fn take_chaos_flags(args: &mut Vec<String>) -> Result<Option<ChaosSpec>, String> {
+    let mut spec = ChaosSpec::OFF;
+    let mut any = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let known = matches!(
+            flag.as_str(),
+            "--chaos-drop-ppm"
+                | "--chaos-seed"
+                | "--chaos-fail-period-us"
+                | "--chaos-fail-down-us"
+                | "--chaos-jam-period-us"
+                | "--chaos-jam-burst-us"
+        );
+        if !known {
+            i += 1;
+            continue;
+        }
+        let Some(v) = args.get(i + 1) else {
+            return Err(format!("{flag} requires a value"));
+        };
+        let parsed: u64 = v
+            .parse()
+            .map_err(|_| format!("{flag}: expected a non-negative integer"))?;
+        let as_u32 =
+            |x: u64| u32::try_from(x).map_err(|_| format!("{flag}: value too large ({x})"));
+        match flag.as_str() {
+            "--chaos-drop-ppm" => {
+                spec.drop_ppm = as_u32(parsed)?;
+                if spec.drop_ppm > 1_000_000 {
+                    return Err("--chaos-drop-ppm: at most 1000000 (= drop everything)".to_string());
+                }
+            }
+            "--chaos-seed" => spec.seed = parsed,
+            "--chaos-fail-period-us" => spec.fail_period_us = as_u32(parsed)?,
+            "--chaos-fail-down-us" => spec.fail_down_us = as_u32(parsed)?,
+            "--chaos-jam-period-us" => spec.jam_period_us = as_u32(parsed)?,
+            "--chaos-jam-burst-us" => spec.jam_burst_us = as_u32(parsed)?,
+            _ => unreachable!(),
+        }
+        any = true;
+        args.drain(i..i + 2);
+    }
+    if spec.fail_period_us > 0 && spec.fail_down_us >= spec.fail_period_us {
+        return Err("--chaos-fail-down-us must be less than --chaos-fail-period-us".to_string());
+    }
+    if spec.fail_down_us > 0 && spec.fail_period_us == 0 {
+        return Err("--chaos-fail-down-us requires --chaos-fail-period-us".to_string());
+    }
+    if spec.jam_period_us > 0 && spec.jam_burst_us >= spec.jam_period_us {
+        return Err("--chaos-jam-burst-us must be less than --chaos-jam-period-us".to_string());
+    }
+    if spec.jam_burst_us > 0 && spec.jam_period_us == 0 {
+        return Err("--chaos-jam-burst-us requires --chaos-jam-period-us".to_string());
+    }
+    Ok(any.then_some(spec))
+}
+
+/// Apply a `--chaos-*` override to every cell of the grid.
+fn apply_chaos(mut spec: SweepSpec, chaos: Option<ChaosSpec>) -> SweepSpec {
+    if let Some(c) = chaos {
+        println!(
+            "chaos: overriding every cell (drop {} ppm, fail {}/{} us, jam {}/{} us, seed {})",
+            c.drop_ppm, c.fail_down_us, c.fail_period_us, c.jam_burst_us, c.jam_period_us, c.seed
+        );
+        for cell in &mut spec.cells {
+            cell.chaos = c;
+        }
+    }
+    spec
 }
 
 /// `sweep diff OLD NEW [--rel-tol X] [--abs-tol X]`: exit 0 when the
@@ -380,11 +461,15 @@ fn run_scenarios(args: &[String]) -> ! {
                 Ok(t) => t,
                 Err(e) => usage_exit(&e),
             };
+            let chaos = match take_chaos_flags(&mut rest) {
+                Ok(c) => c,
+                Err(e) => usage_exit(&e),
+            };
             let scale = match Scale::parse(&rest) {
                 Ok(sc) => sc,
                 Err(e) => usage_exit(&e),
             };
-            run_scenario_grid(s, &scale, &out, telemetry);
+            run_scenario_grid(s, &scale, &out, telemetry, chaos);
         }
         Some(other) => usage_exit(&format!(
             "unknown scenarios action `{other}` (list, describe, run)"
@@ -461,11 +546,19 @@ fn execute_grid(
     }
 }
 
-fn run_scenario_grid(s: &Scenario, scale: &Scale, out: &Path, telemetry: Option<Dur>) -> ! {
-    let spec = s
-        .spec()
-        .with_seed(scale.seed)
-        .with_replicates(scale.replicates);
+fn run_scenario_grid(
+    s: &Scenario,
+    scale: &Scale,
+    out: &Path,
+    telemetry: Option<Dur>,
+    chaos: Option<ChaosSpec>,
+) -> ! {
+    let spec = apply_chaos(
+        s.spec()
+            .with_seed(scale.seed)
+            .with_replicates(scale.replicates),
+        chaos,
+    );
     println!("scenario {}: {} [{}]", s.name, s.title, s.workload.label());
     announce(&spec, scale);
     execute_grid(&spec, s.workload, scale, out, telemetry);
@@ -501,6 +594,10 @@ fn main() {
         Ok(t) => t,
         Err(e) => usage_exit(&e),
     };
+    let chaos = match take_chaos_flags(&mut scale_args) {
+        Ok(c) => c,
+        Err(e) => usage_exit(&e),
+    };
     let scale = match Scale::parse(&scale_args) {
         Ok(s) => s,
         Err(e) => usage_exit(&e),
@@ -512,12 +609,13 @@ fn main() {
         "sched" => SweepSpec::sched_grid(),
         "topo" => SweepSpec::topo_grid(),
         other => match scenario::find(other) {
-            Some(s) => run_scenario_grid(s, &scale, &out, telemetry),
+            Some(s) => run_scenario_grid(s, &scale, &out, telemetry, chaos),
             None => usage_exit(&format!("unknown grid `{other}` (choose from: {GRIDS})")),
         },
     }
     .with_seed(scale.seed)
     .with_replicates(scale.replicates);
+    let spec = apply_chaos(spec, chaos);
 
     announce(&spec, &scale);
     execute_grid(&spec, WorkloadKind::Web, &scale, &out, telemetry);

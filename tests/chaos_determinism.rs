@@ -1,0 +1,203 @@
+//! Determinism guarantees of the chaos layer (seeded loss, link
+//! failures, jamming): perturbed sweep artifacts must stay byte-identical
+//! across worker counts and reruns, and the chaos RNG must be fully
+//! independent of the workload RNG — sweeping a drop rate (or the chaos
+//! seed itself) never changes the recorded schedule it perturbs.
+
+use proptest::prelude::*;
+use ups::core::replay::{record_original, replay_schedule_lossy, ReplayMode};
+use ups::core::WorkloadKind;
+use ups::net::{ChaosPolicy, FlowId, JamSpec, TraceLevel};
+use ups::obs::{ObsLevel, Registry};
+use ups::sched::SchedKind;
+use ups::sim::{Bandwidth, Dur, Time, PS_PER_US};
+use ups::sweep::{
+    run_cell_workload, run_sweep_with, CellCoord, ChaosSpec, SimScale, SweepSpec, TopoKind,
+};
+use ups::topo::internet2::I2Variant;
+use ups::topo::simple::star;
+use ups::transport::FlowDesc;
+
+fn tiny() -> SimScale {
+    SimScale {
+        edges_per_core: 2,
+        horizon: Dur::from_millis(1),
+        fattree_k: 4,
+        label: "tiny",
+    }
+}
+
+fn i2_cell(chaos: ChaosSpec) -> CellCoord {
+    CellCoord {
+        topo: TopoKind::I2(I2Variant::Default1g10g),
+        sched: SchedKind::Random,
+        util: 0.7,
+        chaos,
+    }
+}
+
+/// A two-cell grid: the clean control next to the perturbed cell, the
+/// shape every chaos scenario uses.
+fn grid_for(chaos: ChaosSpec) -> SweepSpec {
+    let mut spec = SweepSpec::new("chaos-prop");
+    spec.cells.push(i2_cell(ChaosSpec::OFF));
+    spec.cells.push(i2_cell(chaos));
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// Any ChaosSpec — drop-only, or with failure and jam windows — must
+    /// serialize byte-identically for `--jobs 1` vs `--jobs 4` and across
+    /// repeated same-seed runs, clean control cell included.
+    #[test]
+    fn chaos_artifacts_are_identical_across_worker_counts_and_reruns(
+        (drop_ppm, chaos_seed) in (200u32..50_000, 0u64..1_000),
+        (fail_period_us, fail_down_us) in prop_oneof![
+            Just((0u32, 0u32)),
+            (200u32..600, 20u32..60),
+        ],
+        (jam_period_us, jam_burst_us) in prop_oneof![
+            Just((0u32, 0u32)),
+            (150u32..500, 10u32..40),
+        ],
+    ) {
+        let chaos = ChaosSpec {
+            drop_ppm,
+            fail_period_us,
+            fail_down_us,
+            jam_period_us,
+            jam_burst_us,
+            seed: chaos_seed,
+        };
+        prop_assert!(chaos.enabled());
+        let sim = tiny();
+        let spec = grid_for(chaos);
+        let run = |jobs| {
+            run_sweep_with(&spec, sim.label, jobs, |job| {
+                run_cell_workload(&job.coord, &sim, job.seed, WorkloadKind::Web)
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        prop_assert_eq!(serial.to_json(), parallel.to_json(), "JSON differs across jobs");
+        prop_assert_eq!(serial.to_csv(), parallel.to_csv(), "CSV differs across jobs");
+        let again = run(4);
+        prop_assert_eq!(parallel.to_json(), again.to_json(), "rerun differs");
+    }
+
+    /// The chaos RNG is forked from its own seed, never the workload's:
+    /// any drop rate and any chaos seed leave every record-side quantity
+    /// (packet population, slack, congestion points) bit-identical to the
+    /// clean run, while the chaos outcomes themselves stay deterministic.
+    #[test]
+    fn chaos_rng_never_perturbs_the_workload_or_recorded_schedule(
+        drop_ppm in 1_000u32..80_000,
+        workload_seed in 0u64..500,
+        (seed_a, seed_b) in (0u64..100, 100u64..200),
+    ) {
+        let sim = tiny();
+        let clean = run_cell_workload(&i2_cell(ChaosSpec::OFF), &sim, workload_seed, WorkloadKind::Web);
+        let spec_a = ChaosSpec { seed: seed_a, ..ChaosSpec::drop(drop_ppm) };
+        let spec_b = ChaosSpec { seed: seed_b, ..ChaosSpec::drop(drop_ppm) };
+        let a = run_cell_workload(&i2_cell(spec_a), &sim, workload_seed, WorkloadKind::Web);
+        let b = run_cell_workload(&i2_cell(spec_b), &sim, workload_seed, WorkloadKind::Web);
+
+        // Record-side metrics are untouched by any chaos configuration.
+        prop_assert!(clean.chaos.is_none());
+        prop_assert_eq!(clean.total, a.total);
+        prop_assert_eq!(clean.mean_slack_us, a.mean_slack_us);
+        prop_assert_eq!(clean.max_cp, a.max_cp);
+        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(a.mean_slack_us, b.mean_slack_us);
+
+        // The perturbation is live and deterministic in its own seed.
+        let ca = a.chaos.expect("perturbed cell must report chaos outcomes");
+        prop_assert!(ca.frac_lost > 0.0, "{} ppm drew no losses", drop_ppm);
+        let a2 = run_cell_workload(&i2_cell(spec_a), &sim, workload_seed, WorkloadKind::Web);
+        prop_assert_eq!(a.chaos, a2.chaos, "chaos outcomes not reproducible");
+    }
+}
+
+/// All three perturbation kinds at once on a replay leg: the aggregate
+/// [`ups::net::ChaosTotals`] match both the per-link counters and the
+/// `ups-obs` registry export, the slab never leaks, and the whole lossy
+/// pipeline — jam RNG included — reproduces bit-for-bit.
+#[test]
+fn chaos_counters_export_consistently_and_reproduce() {
+    let factory = || star(6, Bandwidth::gbps(1), Dur::from_micros(5), TraceLevel::Hops);
+    let flows: Vec<FlowDesc> = {
+        let topo = factory();
+        topo.hosts[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &src)| FlowDesc {
+                id: FlowId(i as u64),
+                src,
+                dst: topo.hosts[0],
+                pkts: 40,
+                start: Time::ZERO,
+                deadline: None,
+            })
+            .collect()
+    };
+    let mut orig = factory();
+    let schedule = record_original(&mut orig, &flows, SchedKind::Random, 2, 1500);
+    drop(orig);
+
+    let run = || {
+        let mut topo = factory();
+        topo.net.install_chaos(Time::from_millis(20), |_| {
+            Some(
+                ChaosPolicy::new(11)
+                    .drop_prob(0.01)
+                    .fail_periodic(Dur::from_micros(300), Dur::from_micros(40))
+                    .jam(JamSpec::Random {
+                        mean_gap: Dur::from_micros(400),
+                        burst: Dur::from_micros(30),
+                    }),
+            )
+        });
+        let report = replay_schedule_lossy(&mut topo, &schedule, ReplayMode::lstf());
+        assert_eq!(topo.net.packets_in_flight(), 0, "chaos leaked slab slots");
+        (report, topo)
+    };
+    let (report, topo) = run();
+    let totals = topo.net.chaos_totals();
+    assert!(totals.drops > 0, "no chaos losses drawn");
+    assert!(totals.downs > 0, "no failure windows fired");
+    assert!(totals.jams > 0, "no jam windows fired");
+    assert!(totals.outage > Dur::ZERO);
+    assert!(report.lost > 0);
+    assert!(report.fidelity() < 1.0);
+
+    // Totals are exactly the sum of the per-link counters.
+    let links = &topo.net.links;
+    assert_eq!(
+        totals.drops,
+        links.iter().map(|l| l.stats.chaos_drops).sum()
+    );
+    assert_eq!(
+        totals.downs,
+        links.iter().map(|l| l.stats.chaos_downs).sum()
+    );
+    assert_eq!(totals.jams, links.iter().map(|l| l.stats.chaos_jams).sum());
+
+    // And the registry export mirrors the totals, name for name.
+    let mut reg = Registry::new(ObsLevel::On);
+    topo.net.export_chaos_metrics(&mut reg);
+    assert_eq!(reg.counter_value("chaos_drops"), totals.drops);
+    assert_eq!(reg.counter_value("chaos_link_downs"), totals.downs);
+    assert_eq!(reg.counter_value("chaos_jam_windows"), totals.jams);
+    assert_eq!(
+        reg.counter_value("chaos_outage_us"),
+        totals.outage.as_ps() / PS_PER_US
+    );
+
+    // The full lossy pipeline reproduces bit-for-bit.
+    let (report2, topo2) = run();
+    assert_eq!(report.lost, report2.lost);
+    assert_eq!(report.lateness, report2.lateness);
+    assert_eq!(totals, topo2.net.chaos_totals());
+}

@@ -1,11 +1,11 @@
 //! Cross-crate integration tests of the full replay pipeline:
 //! topology → workload → original schedule → candidate-UPS replay.
 
-use ups::core::replay::{record_original, replay_schedule, ReplayMode};
+use ups::core::replay::{record_original, replay_schedule, replay_schedule_lossy, ReplayMode};
 use ups::core::workload::default_udp_workload;
-use ups::net::TraceLevel;
+use ups::net::{ChaosPolicy, TraceLevel};
 use ups::sched::SchedKind;
-use ups::sim::Dur;
+use ups::sim::{Dur, Time};
 use ups::topo::internet2::{build, I2Config, I2Variant};
 use ups::topo::Topology;
 
@@ -149,6 +149,74 @@ fn slacks_are_nonnegative_and_bounded_by_delay() {
         // On a drop-free run slack equals total queueing delay.
         assert_eq!(slack, p.qdelay.as_i64(), "slack != queueing delay");
     }
+}
+
+#[test]
+fn lossy_replay_fidelity_degrades_monotonically_with_drop_rate() {
+    // The ISSUE 8 degradation curve at unit-test scale: record once,
+    // replay the same schedule over increasingly unreliable networks.
+    let factory = i2(3);
+    let topo = factory();
+    let flows = default_udp_workload(&topo, 0.7, Dur::from_millis(4), 4);
+    drop(topo);
+    let mut orig = factory();
+    let schedule = record_original(&mut orig, &flows, SchedKind::Random, 4, 1500);
+    drop(orig);
+
+    let mut strict_topo = factory();
+    let strict = replay_schedule(&mut strict_topo, &schedule, ReplayMode::lstf());
+    drop(strict_topo);
+
+    let lossy = |p: f64| {
+        let mut t = factory();
+        if p > 0.0 {
+            t.net.install_chaos(Time::from_millis(40), |_| {
+                Some(ChaosPolicy::new(0xC11A05).drop_prob(p))
+            });
+        }
+        let r = replay_schedule_lossy(&mut t, &schedule, ReplayMode::lstf());
+        assert_eq!(t.net.packets_in_flight(), 0, "slab leak at p={p}");
+        r
+    };
+
+    // 0% loss: the lossy scorer is exactly the strict path.
+    let r0 = lossy(0.0);
+    assert_eq!(r0.lost, 0);
+    assert_eq!(r0.overdue, strict.overdue);
+    assert_eq!(r0.lateness, strict.lateness);
+    assert_eq!(r0.fidelity(), 1.0 - strict.frac_overdue());
+
+    // An installed-but-inert policy (drop rate 0, no windows) must not
+    // change a single delivery either, even though it disables the wire
+    // fast path — chaos off means byte-identical, not merely similar.
+    let mut inert_topo = factory();
+    inert_topo
+        .net
+        .install_chaos(Time::from_millis(40), |_| Some(ChaosPolicy::new(1)));
+    let inert = replay_schedule_lossy(&mut inert_topo, &schedule, ReplayMode::lstf());
+    assert_eq!(inert.lost, 0);
+    assert_eq!(
+        inert.lateness, strict.lateness,
+        "inert chaos changed the replay"
+    );
+
+    // 0.1% and 1%: losses appear, scale with the rate, and fidelity
+    // degrades monotonically while the packet population stays fixed.
+    let r1 = lossy(0.001);
+    let r2 = lossy(0.01);
+    assert_eq!(r1.total, strict.total);
+    assert_eq!(r2.total, strict.total);
+    assert!(r1.lost > 0, "0.1% drew no losses");
+    assert!(r2.lost > r1.lost, "losses must grow with the drop rate");
+    assert!(
+        r0.fidelity() >= r1.fidelity() && r1.fidelity() > r2.fidelity(),
+        "fidelity not monotone: {} / {} / {}",
+        r0.fidelity(),
+        r1.fidelity(),
+        r2.fidelity()
+    );
+    // Lost packets are excluded from the lateness distribution.
+    assert_eq!(r2.lateness.len(), r2.total - r2.lost);
 }
 
 #[test]

@@ -19,6 +19,7 @@ fn artifact(bump: f64) -> String {
         max_cp: 1,
         mean_slack_us: 3.5,
         deadline: None,
+        chaos: None,
     })
     .to_json()
 }
@@ -101,6 +102,7 @@ fn added_and_removed_cells_exit_nonzero() {
             max_cp: 1,
             mean_slack_us: 3.5,
             deadline: None,
+            chaos: None,
         },
     )
     .to_json();

@@ -2,7 +2,7 @@
 //! conditions: loss recovery, bandwidth conservation, RTT-proportional
 //! ramp-up, and interaction with the scheduling fabric.
 
-use ups::net::{FlowId, TraceLevel};
+use ups::net::{ChaosPolicy, FlowId, TraceLevel};
 use ups::sim::{Bandwidth, Dur, Time};
 use ups::topo::simple::{dumbbell, line};
 use ups::transport::{install_tcp, FlowDesc, HeaderStamper, TcpConfig};
@@ -95,6 +95,74 @@ fn recovers_from_severe_buffer_pressure() {
         );
         assert!(r.retransmits > 0 || r.desc.pkts < 20, "no loss seen");
     }
+}
+
+#[test]
+fn recovers_from_seeded_wire_loss() {
+    // ISSUE 8: a chaos policy on the bottleneck only — 1% i.i.d. wire
+    // loss from the dedicated chaos RNG — with unbounded buffers, so
+    // every loss episode is the chaos layer's, not buffer pressure.
+    // Reno must recover each one via fast retransmit / RTO.
+    let run = || {
+        let mut topo = dumbbell(
+            2,
+            Bandwidth::gbps(10),
+            Bandwidth::gbps(1),
+            Dur::from_micros(50),
+            TraceLevel::Delivery,
+        );
+        let flows: Vec<FlowDesc> = (0..2)
+            .map(|i| FlowDesc {
+                id: FlowId(i),
+                src: topo.hosts[i as usize],
+                dst: topo.hosts[2 + i as usize],
+                pkts: 300,
+                start: Time::ZERO,
+                deadline: None,
+            })
+            .collect();
+        topo.net.install_chaos(Time::from_secs(30), |l| {
+            (l.bw == Bandwidth::gbps(1)).then(|| ChaosPolicy::new(0xC11A05).drop_prob(0.01))
+        });
+        let results = install_tcp(&mut topo.net, &flows, &TcpConfig::default(), zero_stamper);
+        topo.net.run_until(Time::from_secs(20));
+        assert!(topo.net.chaos_totals().drops > 0, "chaos drew no losses");
+        let mut retransmits = 0;
+        for r in results.lock().unwrap().iter() {
+            assert!(
+                r.completed.is_some(),
+                "flow {:?} never recovered from wire loss ({} retransmits)",
+                r.desc.id,
+                r.retransmits
+            );
+            retransmits += r.retransmits;
+        }
+        assert!(retransmits > 0, "1% wire loss must force retransmissions");
+        let data_bytes: u64 = topo
+            .net
+            .telemetry
+            .packets
+            .iter()
+            .filter(|r| r.delivered.is_some() && !ups::transport::is_ack_flow(r.flow))
+            .map(|r| r.size as u64)
+            .sum();
+        (data_bytes, retransmits)
+    };
+    let (data_bytes, retransmits) = run();
+    // Fixed-seed golden: the seeded run delivers a bit-stable byte count
+    // — the 600-packet payload plus the spuriously re-delivered
+    // retransmits — and reruns reproduce it exactly. A changed value
+    // means the chaos RNG stream or the TCP recovery path moved.
+    assert_eq!(
+        data_bytes, 927_000,
+        "golden delivered-byte count moved (got {data_bytes})"
+    );
+    assert_eq!(retransmits, 7, "golden retransmit count moved");
+    assert_eq!(
+        (data_bytes, retransmits),
+        run(),
+        "seeded loss run not reproducible"
+    );
 }
 
 #[test]
