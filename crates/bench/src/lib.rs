@@ -30,6 +30,8 @@
 //! `sweep diff old.json new.json` compares two artifacts for regression
 //! detection.
 
+#![forbid(unsafe_code)]
+
 pub mod runners;
 pub mod scale;
 

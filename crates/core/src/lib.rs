@@ -46,6 +46,8 @@
 //! assert!(schedule.max_congestion_points() <= 2); // star topology
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod objectives;
 pub mod omniscient;
 pub mod replay;

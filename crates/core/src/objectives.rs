@@ -6,6 +6,10 @@
 //! * tail packet delay — LSTF with constant slack (≡ FIFO+) vs FIFO;
 //! * fairness — LSTF with virtual-clock slack vs FIFO / FQ.
 
+// Hash maps here are keyed-lookup-only (annotated in-line for the
+// determinism lint); clippy's blanket type ban is relaxed file-wide.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 use ups_metrics::{throughput_fairness_series, FairnessPoint};
 use ups_net::{FlowId, TraceLevel};

@@ -18,6 +18,8 @@
 //! * [`long_lived_flows`] — the fixed long-lived-flow workload of the
 //!   fairness experiment (§3.3).
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod incast;
 pub mod mix;

@@ -1,0 +1,450 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The rules in this crate match on *token* sequences, never on raw
+//! text, so a `HashMap` inside a string literal, a doc comment, or a
+//! doctest can never produce a false positive: doc comments (and the
+//! doctests they contain) are comments to this lexer, string and char
+//! literals become single opaque tokens, and nested block comments are
+//! tracked to their true end. Comments are not discarded — they are
+//! collected per line so rules can check for adjacent `// SAFETY:` and
+//! `// lint: ...` annotations.
+//!
+//! This is not a full Rust lexer (no float-suffix splitting, no
+//! `shebang` handling, no edition-sensitive keyword logic); it is exact
+//! for the subset the rules need: identifier, punctuation, string
+//! (including raw/byte strings), char literal, lifetime, and number
+//! tokens, each carrying a 1-based line.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, ...).
+    Ident,
+    /// Single punctuation character (`:`, `{`, `#`, ...).
+    Punct,
+    /// String literal (regular, raw, byte, or raw-byte); `text` is the
+    /// literal's *content*, without quotes or hashes.
+    Str,
+    /// Character literal; `text` is the raw content between quotes.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`); `text` excludes the tick.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+    pub text: String,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes()[0] as char == c && self.text.len() == 1
+    }
+}
+
+/// One comment (line or block) with its inclusive line span. Line
+/// comments are one entry per `//`; a block comment spanning several
+/// lines is a single entry covering all of them.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// A lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comment text attached to lines `[lo, hi]` (inclusive),
+    /// concatenated. Used for adjacency checks like `// SAFETY:`.
+    pub fn comments_in(&self, lo: u32, hi: u32) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.end_line >= lo && c.line <= hi {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// True when some comment covering line `lo..=hi` contains `needle`.
+    pub fn comment_contains(&self, lo: u32, hi: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= lo && c.line <= hi && c.text.contains(needle))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// constructs are closed at end of file (the compiler, not the lint,
+/// owns syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (chars[i + 1] == '/' || chars[i + 1] == '*') {
+            let start_line = line;
+            let mut text = String::new();
+            if chars[i + 1] == '/' {
+                while i < n && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            } else {
+                // Block comment; Rust block comments nest.
+                let mut depth = 0usize;
+                while i < n {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    bump_line!(chars[i]);
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"..", r#".."#, b"..", br#".."#.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut raw = c == 'r';
+            if c == 'b' && j < n && chars[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // A string opener needs a quote here; non-raw byte strings
+            // take no hashes. `r#foo` (raw ident) falls through to the
+            // identifier branch below.
+            if j < n && chars[j] == '"' && (raw || hashes == 0) {
+                let start_line = line;
+                j += 1; // past the opening quote
+                let mut text = String::new();
+                if raw {
+                    // Scan to `"` followed by `hashes` hashes.
+                    'raw_scan: while j < n {
+                        if chars[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while seen < hashes && k < n && chars[k] == '#' {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'raw_scan;
+                            }
+                        }
+                        bump_line!(chars[j]);
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                } else {
+                    // Plain byte string with escapes.
+                    while j < n && chars[j] != '"' {
+                        if chars[j] == '\\' && j + 1 < n {
+                            bump_line!(chars[j + 1]);
+                            text.push(chars[j]);
+                            text.push(chars[j + 1]);
+                            j += 2;
+                            continue;
+                        }
+                        bump_line!(chars[j]);
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                    j += 1; // closing quote
+                }
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str,
+                    text,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut j = i + 1;
+            while j < n && chars[j] != '"' {
+                if chars[j] == '\\' && j + 1 < n {
+                    bump_line!(chars[j + 1]);
+                    text.push(chars[j]);
+                    text.push(chars[j + 1]);
+                    j += 2;
+                    continue;
+                }
+                bump_line!(chars[j]);
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line: start_line,
+                kind: TokKind::Str,
+                text,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Char literal vs lifetime. After a tick: an escape or a
+        // single char followed by a closing tick is a char literal;
+        // otherwise it is a lifetime.
+        if c == '\'' {
+            let j = i + 1;
+            let is_char = j < n && (chars[j] == '\\' || (j + 1 < n && chars[j + 1] == '\''));
+            if is_char {
+                let mut text = String::new();
+                let mut j = i + 1;
+                if chars[j] == '\\' {
+                    text.push(chars[j]);
+                    j += 1;
+                    // Consume the escape body up to the closing tick,
+                    // handling \u{...}.
+                    if j < n && chars[j] == 'u' {
+                        while j < n && chars[j] != '\'' {
+                            text.push(chars[j]);
+                            j += 1;
+                        }
+                    } else if j < n {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                } else {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                // Closing tick.
+                if j < n && chars[j] == '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Char,
+                    text,
+                });
+                i = j;
+                continue;
+            }
+            // Lifetime.
+            let mut j = i + 1;
+            let mut text = String::new();
+            while j < n && is_ident_continue(chars[j]) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line,
+                kind: TokKind::Lifetime,
+                text,
+            });
+            i = j.max(i + 1);
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && (is_ident_continue(chars[j]) || chars[j] == '.') {
+                // Stop a `0..10` range from merging into one token.
+                if chars[j] == '.' && j + 1 < n && chars[j + 1] == '.' {
+                    break;
+                }
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line,
+                kind: TokKind::Num,
+                text,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword (including raw identifiers `r#type`).
+        if is_ident_start(c) {
+            let mut j = i;
+            let mut text = String::new();
+            if c == 'r'
+                && i + 1 < n
+                && chars[i + 1] == '#'
+                && i + 2 < n
+                && is_ident_start(chars[i + 2])
+            {
+                j = i + 2; // strip the r# prefix
+            }
+            while j < n && is_ident_continue(chars[j]) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line,
+                kind: TokKind::Ident,
+                text,
+            });
+            i = j;
+            continue;
+        }
+        // Anything else: single punctuation char.
+        out.tokens.push(Tok {
+            line,
+            kind: TokKind::Punct,
+            text: c.to_string(),
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            /// HashMap in a doc comment with a doctest:
+            /// ```
+            /// use std::collections::HashMap;
+            /// ```
+            let s = "HashMap::new()";
+            let r = r#"HashMap "quoted" inside raw"#;
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\''; let q = '\"'; let n = 'x'; }";
+        let lx = lex(src);
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars = lx.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_strings_and_blocks() {
+        let src = "let a = 1;\nlet s = \"two\nlines\";\nlet b = unsafe_marker;\n";
+        let lx = lex(src);
+        let b = lx
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unsafe_marker"))
+            .unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn comments_carry_spans() {
+        let src = "code();\n/* spans\nthree\nlines */\nmore(); // SAFETY: trailing\n";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!((lx.comments[0].line, lx.comments[0].end_line), (2, 4));
+        assert!(lx.comment_contains(5, 5, "SAFETY:"));
+    }
+
+    #[test]
+    fn raw_ident_is_stripped() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lx = lex("for i in 0..10 { x[i] = 1.5e3; }");
+        let nums: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3"]);
+    }
+}

@@ -1,0 +1,5 @@
+//! Rule families. `tokens` matches banned-API patterns on single
+//! files; `structure` correlates contracts across files and documents.
+
+pub mod structure;
+pub mod tokens;

@@ -1,0 +1,457 @@
+//! Structural cross-checks: repo-wide contracts parsed out of source.
+//!
+//! Unlike the token rules, these correlate *multiple* files: the event
+//! class constants against their documented pop order and their uses,
+//! the scenario registry against docs/SCENARIOS.md, and the ups-obs
+//! public hooks against their compiled-out gating. Each rule skips
+//! silently when its anchor file is absent (so fixture mini-trees can
+//! exercise one rule at a time); the `checked` counters in the report
+//! let the workspace self-run assert the anchors were actually found.
+
+use crate::lexer::TokKind;
+use crate::report::{Finding, Report};
+use crate::walk::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Anchor file for the event-class contract.
+const NETWORK_RS: &str = "crates/net/src/network.rs";
+/// Anchor file for the scenario registry.
+const SCENARIO_RS: &str = "crates/sweep/src/scenario.rs";
+/// Scenario catalogue document, relative to the lint root.
+const SCENARIOS_MD: &str = "docs/SCENARIOS.md";
+/// Directory prefix of the observability crate.
+const OBS_PREFIX: &str = "crates/obs/src/";
+
+/// Recording-hook method names in ups-obs that must be compiled out by
+/// the `off` feature. A method with one of these names and a `&mut
+/// self` receiver is a hook; anything else (registration, readers,
+/// merge) may run unconditionally.
+const HOOK_VERBS: &[&str] = &["add", "inc", "raise", "record", "push", "observe", "sample"];
+
+pub fn run(files: &[SourceFile], root: &Path, report: &mut Report) {
+    event_class_order(files, report);
+    scenario_docs(files, root, report);
+    obs_off_gating(files, report);
+}
+
+/// `event-class-order`: the same-instant pop order of the event wheel
+/// is a load-bearing determinism contract — chaos transitions settle
+/// before any data-plane event, and telemetry observation pops last so
+/// it can never reorder the data plane. This rule parses the `mod
+/// class` constants in network.rs and enforces: `CHAOS` is the strict
+/// minimum, `OBSERVE` the strict maximum, values are unique, every
+/// `class::X` use resolves to a declared constant, and no declared
+/// constant is dead.
+fn event_class_order(files: &[SourceFile], report: &mut Report) {
+    let Some(f) = files.iter().find(|f| f.rel == NETWORK_RS) else {
+        return;
+    };
+    let toks = f.toks();
+    // Locate `mod class {` and its matching close brace.
+    let Some(start) = toks
+        .windows(3)
+        .position(|w| w[0].is_ident("mod") && w[1].is_ident("class") && w[2].is_punct('{'))
+    else {
+        report.findings.push(Finding {
+            rule: "event-class-order",
+            file: f.rel.clone(),
+            line: 0,
+            item: None,
+            message: "no `mod class { ... }` found".to_string(),
+            hint: "the event ordering classes must live in a `mod class` so \
+                   the pop-order contract stays checkable",
+        });
+        return;
+    };
+    let body_start = start + 3;
+    let mut depth = 1usize;
+    let mut end = body_start;
+    while end < toks.len() && depth > 0 {
+        if toks[end].is_punct('{') {
+            depth += 1;
+        } else if toks[end].is_punct('}') {
+            depth -= 1;
+        }
+        end += 1;
+    }
+    // Collect `pub const NAME: u8 = N;` entries.
+    let mut consts: BTreeMap<String, (u64, u32)> = BTreeMap::new();
+    let mut i = body_start;
+    while i + 6 < end {
+        if toks[i].is_ident("const")
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].is_punct(':')
+        {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            // Find the `=` then the number.
+            let mut j = i + 3;
+            while j < end && !toks[j].is_punct('=') {
+                j += 1;
+            }
+            if let Some(num) = toks.get(j + 1).filter(|t| t.kind == TokKind::Num) {
+                if let Ok(v) = num.text.parse::<u64>() {
+                    consts.insert(name, (v, line));
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    report.checked.event_classes = consts.len();
+    fn flag(report: &mut Report, line: u32, item: &str, message: String) {
+        report.findings.push(Finding {
+            rule: "event-class-order",
+            file: NETWORK_RS.to_string(),
+            line,
+            item: Some(item.to_string()),
+            message,
+            hint: "same-instant pop order is (time, class, seq): chaos must \
+                   settle first (strict minimum) and OBSERVE must pop last \
+                   (strict maximum) or artifacts change byte-for-byte",
+        });
+    }
+    // Uniqueness.
+    let mut by_value: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    for (name, (v, _)) in &consts {
+        by_value.entry(*v).or_default().push(name);
+    }
+    for (v, names) in &by_value {
+        if names.len() > 1 {
+            let (_, line) = consts[names[1]];
+            flag(
+                report,
+                line,
+                names[1],
+                format!("event classes {names:?} share value {v}"),
+            );
+        }
+    }
+    // CHAOS strict min, OBSERVE strict max.
+    match consts.get("CHAOS") {
+        None => flag(
+            report,
+            0,
+            "CHAOS",
+            "no CHAOS event class declared".to_string(),
+        ),
+        Some(&(v, line)) => {
+            if consts.iter().any(|(n, &(o, _))| n != "CHAOS" && o <= v) {
+                flag(
+                    report,
+                    line,
+                    "CHAOS",
+                    format!("CHAOS ({v}) is not the strict minimum class"),
+                );
+            }
+        }
+    }
+    match consts.get("OBSERVE") {
+        None => flag(
+            report,
+            0,
+            "OBSERVE",
+            "no OBSERVE event class declared".to_string(),
+        ),
+        Some(&(v, line)) => {
+            if consts.iter().any(|(n, &(o, _))| n != "OBSERVE" && o >= v) {
+                flag(
+                    report,
+                    line,
+                    "OBSERVE",
+                    format!("OBSERVE ({v}) is not the strict maximum class"),
+                );
+            }
+        }
+    }
+    // Usage resolution: every `class::X` (X all-caps) across the
+    // workspace must be declared, and every declared class used.
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for sf in files {
+        let ts = sf.toks();
+        for (k, t) in ts.iter().enumerate() {
+            if t.is_ident("class")
+                && ts.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && ts.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                if let Some(name) = ts.get(k + 3).filter(|t| {
+                    t.kind == TokKind::Ident
+                        && t.text.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+                }) {
+                    used.insert(name.text.clone());
+                    if !consts.is_empty() && !consts.contains_key(&name.text) {
+                        report.findings.push(Finding {
+                            rule: "event-class-order",
+                            file: sf.rel.clone(),
+                            line: name.line,
+                            item: Some(name.text.clone()),
+                            message: format!(
+                                "`class::{}` does not name a declared event class",
+                                name.text
+                            ),
+                            hint: "declare the class constant in `mod class` with an \
+                                   explicit position in the pop order",
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for (name, (_, line)) in &consts {
+        if !used.contains(name) {
+            flag(
+                report,
+                *line,
+                name,
+                format!("event class `{name}` is declared but never pushed"),
+            );
+        }
+    }
+}
+
+/// `scenario-docs`: every scenario in `REGISTRY` must be catalogued in
+/// docs/SCENARIOS.md (as a backticked name), and every backticked `##`
+/// heading in the catalogue must name a registered scenario — the
+/// registry and its documentation cannot drift apart silently.
+fn scenario_docs(files: &[SourceFile], root: &Path, report: &mut Report) {
+    let Some(f) = files.iter().find(|f| f.rel == SCENARIO_RS) else {
+        return;
+    };
+    let toks = f.toks();
+    let Some(reg) = toks.iter().position(|t| t.is_ident("REGISTRY")) else {
+        return;
+    };
+    // Names appear as `name: "..."` field inits after the REGISTRY
+    // token; collect them until the array's closing `]` at depth 0.
+    let mut names: Vec<(String, u32)> = Vec::new();
+    let mut i = reg;
+    // Advance to the opening `[` of the array literal (skip the type's
+    // `&[Scenario]` brackets by waiting for `= & [`).
+    while i < toks.len() && !(toks[i].is_punct('=')) {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    let mut entered = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+            entered = true;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if entered && depth == 0 {
+                break;
+            }
+        } else if t.is_ident("name")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            names.push((toks[i + 2].text.clone(), toks[i + 2].line));
+        }
+        i += 1;
+    }
+    report.checked.scenarios = names.len();
+    let doc_path = root.join(SCENARIOS_MD);
+    let doc = match std::fs::read_to_string(&doc_path) {
+        Ok(d) => d,
+        Err(_) => {
+            report.findings.push(Finding {
+                rule: "scenario-docs",
+                file: SCENARIOS_MD.to_string(),
+                line: 0,
+                item: None,
+                message: format!(
+                    "{SCENARIOS_MD} is missing but REGISTRY has {} scenarios",
+                    names.len()
+                ),
+                hint: "document every registered scenario in docs/SCENARIOS.md",
+            });
+            return;
+        }
+    };
+    for (name, line) in &names {
+        if !doc.contains(&format!("`{name}`")) {
+            report.findings.push(Finding {
+                rule: "scenario-docs",
+                file: SCENARIO_RS.to_string(),
+                line: *line,
+                item: Some(name.clone()),
+                message: format!("scenario `{name}` is not documented in {SCENARIOS_MD}"),
+                hint: "add a `## `name`` section to docs/SCENARIOS.md (params, \
+                       repro command, artifact path) or remove the registry entry",
+            });
+        }
+    }
+    // Reverse direction: headings must name registered scenarios.
+    let registered: BTreeSet<&str> = names.iter().map(|(n, _)| n.as_str()).collect();
+    for (idx, line) in doc.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("## `") else {
+            continue;
+        };
+        let Some(name) = rest.split('`').next() else {
+            continue;
+        };
+        if !registered.contains(name) {
+            report.findings.push(Finding {
+                rule: "scenario-docs",
+                file: SCENARIOS_MD.to_string(),
+                line: (idx + 1) as u32,
+                item: Some(name.to_string()),
+                message: format!("documented scenario `{name}` is not in REGISTRY"),
+                hint: "register the scenario in crates/sweep/src/scenario.rs or \
+                       drop the stale section",
+            });
+        }
+    }
+}
+
+/// One parsed `pub fn` with a `&mut self` receiver in ups-obs.
+struct ObsMethod {
+    file: usize,
+    name: String,
+    line: u32,
+    /// Token range of the body.
+    body: (usize, usize),
+    gated: bool,
+}
+
+/// `obs-off-gating`: every public recording hook in ups-obs must be a
+/// no-op when the `off` feature is enabled — directly (its body tests
+/// `COMPILED` / `enabled()`) or transitively (it delegates to a gated
+/// hook). This is the zero-overhead-when-off contract as a source
+/// check: with it, `--features off` provably cannot change behavior,
+/// which is what lets telemetry stay compiled into release builds.
+fn obs_off_gating(files: &[SourceFile], report: &mut Report) {
+    let mut methods: Vec<ObsMethod> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !f.rel.starts_with(OBS_PREFIX) {
+            continue;
+        }
+        let toks = f.toks();
+        let mut i = 0;
+        while i < toks.len() {
+            if !toks[i].is_ident("pub") {
+                i += 1;
+                continue;
+            }
+            // Optional `pub(crate)` style visibility.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                while j < toks.len() && !toks[j].is_punct(')') {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+                i += 1;
+                continue;
+            }
+            let Some(name_tok) = toks.get(j + 1).filter(|t| t.kind == TokKind::Ident) else {
+                i = j + 1;
+                continue;
+            };
+            // Parameter list.
+            let mut k = j + 2;
+            if !toks.get(k).is_some_and(|t| t.is_punct('(')) {
+                i = k;
+                continue;
+            }
+            let params_start = k;
+            let mut depth = 0usize;
+            while k < toks.len() {
+                if toks[k].is_punct('(') {
+                    depth += 1;
+                } else if toks[k].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let params = &toks[params_start..=k.min(toks.len() - 1)];
+            let mut_self = params
+                .windows(2)
+                .any(|w| w[0].is_ident("mut") && w[1].is_ident("self"));
+            // Body: the next `{` after the params (skipping `-> Type`).
+            let mut b = k + 1;
+            while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+                b += 1;
+            }
+            if !mut_self || !toks.get(b).is_some_and(|t| t.is_punct('{')) {
+                i = b;
+                continue;
+            }
+            let body_start = b + 1;
+            let mut depth = 1usize;
+            let mut e = body_start;
+            while e < toks.len() && depth > 0 {
+                if toks[e].is_punct('{') {
+                    depth += 1;
+                } else if toks[e].is_punct('}') {
+                    depth -= 1;
+                }
+                e += 1;
+            }
+            let gated = toks[body_start..e]
+                .iter()
+                .any(|t| t.is_ident("COMPILED") || t.is_ident("enabled"));
+            methods.push(ObsMethod {
+                file: fi,
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                body: (body_start, e),
+                gated,
+            });
+            i = e;
+        }
+    }
+    // Fixed point: a method delegating to a gated method is gated.
+    let names: Vec<String> = methods.iter().map(|m| m.name.clone()).collect();
+    loop {
+        let mut changed = false;
+        for mi in 0..methods.len() {
+            if methods[mi].gated {
+                continue;
+            }
+            let (lo, hi) = methods[mi].body;
+            let toks = files[methods[mi].file].toks();
+            let delegates = toks[lo..hi].windows(3).any(|w| {
+                w[0].is_ident("self")
+                    && w[1].is_punct('.')
+                    && w[2].kind == TokKind::Ident
+                    && names
+                        .iter()
+                        .enumerate()
+                        .any(|(other, n)| methods[other].gated && *n == w[2].text)
+            });
+            if delegates {
+                methods[mi].gated = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let hooks: Vec<&ObsMethod> = methods
+        .iter()
+        .filter(|m| HOOK_VERBS.contains(&m.name.as_str()))
+        .collect();
+    report.checked.obs_hooks = hooks.len();
+    for m in hooks {
+        if !m.gated {
+            report.findings.push(Finding {
+                rule: "obs-off-gating",
+                file: files[m.file].rel.clone(),
+                line: m.line,
+                item: Some(m.name.clone()),
+                message: format!("recording hook `{}` has no compiled-out no-op twin", m.name),
+                hint: "guard the body on `self.enabled()` / `COMPILED`, or \
+                       delegate to a hook that does — the `off` feature must \
+                       erase every recording path",
+            });
+        }
+    }
+}

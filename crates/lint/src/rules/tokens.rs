@@ -1,0 +1,306 @@
+//! Token rules: banned-API patterns matched on the lexed token stream.
+//!
+//! Each rule guards one determinism invariant (docs/LINT.md maps them
+//! out in full). All of them skip `#[cfg(test)]` items where noted —
+//! test-only code cannot perturb artifacts — and several accept an
+//! in-source justification comment, which is the preferred suppression
+//! for sites that are provably safe (the justification travels with the
+//! code it excuses).
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::report::{Finding, Report};
+use crate::walk::{SourceFile, Tier};
+
+/// The in-source justification for `hash-collections`: the map is only
+/// ever used for keyed lookup, so its nondeterministic iteration order
+/// cannot escape. `(file)` scope covers the whole file.
+pub const KEYED_LOOKUP_NOTE: &str = "lint: keyed-lookup-only";
+
+/// Artifact-writer modules where `{:?}` float formatting is banned:
+/// Debug float output is not format-stable across toolchains, so a
+/// rustc upgrade could silently rewrite every committed baseline.
+const ARTIFACT_WRITERS: &[&str] = &[
+    "crates/sweep/src/artifact.rs",
+    "crates/sweep/src/telemetry.rs",
+    "crates/sweep/src/perf.rs",
+];
+
+pub fn run(files: &[SourceFile], cfg: &Config, report: &mut Report) {
+    for f in files {
+        hash_collections(f, report);
+        wall_clock(f, report);
+        ambient_entropy(f, report);
+        ptr_as_key(f, report);
+        float_debug_format(f, report);
+        unsafe_safety_comment(f, report);
+    }
+    unwrap_budget(files, cfg, report);
+}
+
+fn push(
+    report: &mut Report,
+    rule: &'static str,
+    f: &SourceFile,
+    line: u32,
+    message: String,
+    hint: &'static str,
+) {
+    report.findings.push(Finding {
+        rule,
+        file: f.rel.clone(),
+        line,
+        item: None,
+        message,
+        hint,
+    });
+}
+
+/// `hash-collections`: `HashMap`/`HashSet` anywhere in a
+/// determinism-critical crate. Hash iteration order varies per process
+/// (SipHash keys are random), so any map whose iteration order can
+/// reach an artifact breaks byte-identity. Keyed-lookup-only sites
+/// carry the [`KEYED_LOOKUP_NOTE`] annotation instead.
+fn hash_collections(f: &SourceFile, report: &mut Report) {
+    if f.tier != Tier::Core {
+        return;
+    }
+    let file_scope = f
+        .lexed
+        .comments
+        .iter()
+        .any(|c| c.text.contains(&format!("{KEYED_LOOKUP_NOTE}(file)")));
+    if file_scope {
+        return;
+    }
+    for (i, t) in f.toks().iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) || f.is_test_tok(i) {
+            continue;
+        }
+        if f.lexed
+            .comment_contains(t.line.saturating_sub(1), t.line, KEYED_LOOKUP_NOTE)
+        {
+            continue;
+        }
+        push(
+            report,
+            "hash-collections",
+            f,
+            t.line,
+            format!("`{}` in a determinism-critical crate", t.text),
+            "iteration order is per-process random; use BTreeMap/BTreeSet or \
+             ups_sched::soa::OrderedQueue, or annotate the site \
+             `// lint: keyed-lookup-only — <why no iteration order escapes>`",
+        );
+    }
+}
+
+/// `wall-clock`: `Instant::now` / `SystemTime` outside bench/perf
+/// modules. Wall-clock reads in simulation or artifact code couple
+/// results to the machine, which is the opposite of replayability.
+fn wall_clock(f: &SourceFile, report: &mut Report) {
+    if matches!(f.tier, Tier::Bench | Tier::Shim) {
+        return;
+    }
+    let toks = f.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if f.is_test_tok(i) {
+            continue;
+        }
+        let hit = if t.is_ident("SystemTime") {
+            Some("SystemTime")
+        } else if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            Some("Instant::now")
+        } else {
+            None
+        };
+        if let Some(api) = hit {
+            push(
+                report,
+                "wall-clock",
+                f,
+                t.line,
+                format!("`{api}` outside a bench/perf module"),
+                "simulation time comes from the event wheel (`ups_sim::Time`); \
+                 perf timing belongs in crates/bench or behind a lint.toml \
+                 allow with a justification",
+            );
+        }
+    }
+}
+
+/// `ambient-entropy`: `thread_rng`, OS randomness, or environment reads
+/// anywhere. Every RNG in this repo is seeded from the experiment
+/// coordinate; every config comes in through flags. Ambient entropy or
+/// env vars make a run irreproducible by construction, so there is no
+/// justified site and no tier exemption.
+fn ambient_entropy(f: &SourceFile, report: &mut Report) {
+    let toks = f.toks();
+    for (i, t) in toks.iter().enumerate() {
+        let hit = if t.is_ident("thread_rng")
+            || t.is_ident("ThreadRng")
+            || t.is_ident("RandomState")
+            || t.is_ident("from_entropy")
+            || t.is_ident("getrandom")
+        {
+            Some(t.text.clone())
+        } else if t.is_ident("env")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("var"))
+        {
+            Some(format!("env::{}", toks[i + 3].text))
+        } else {
+            None
+        };
+        if let Some(api) = hit {
+            push(
+                report,
+                "ambient-entropy",
+                f,
+                t.line,
+                format!("`{api}` injects ambient state into a run"),
+                "seed RNGs from the experiment coordinate (see ups_sim::rng); \
+                 pass configuration through CLI flags, never the environment",
+            );
+        }
+    }
+}
+
+/// `ptr-as-key`: casting a pointer to an integer. Addresses vary per
+/// run (ASLR, allocator state), so a pointer-derived value feeding a
+/// hash, sort key, or artifact breaks determinism. The pattern matched
+/// is `as_ptr()`/`as_mut_ptr()` followed by an `as usize`/`as u64`
+/// cast within the same expression window.
+fn ptr_as_key(f: &SourceFile, report: &mut Report) {
+    let toks = f.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if f.is_test_tok(i) || !(t.is_ident("as_ptr") || t.is_ident("as_mut_ptr")) {
+            continue;
+        }
+        let window = &toks[i + 1..toks.len().min(i + 8)];
+        let cast = window
+            .windows(2)
+            .any(|w| w[0].is_ident("as") && (w[1].is_ident("usize") || w[1].is_ident("u64")));
+        if cast {
+            push(
+                report,
+                "ptr-as-key",
+                f,
+                t.line,
+                "pointer cast to an integer".to_string(),
+                "addresses differ per run under ASLR; derive keys from dense \
+                 ids (NodeId/LinkId/FlowId), never from memory layout",
+            );
+        }
+    }
+}
+
+/// `float-debug-format`: `{:?}` in a format string inside an
+/// artifact-writer module. Debug float formatting is explicitly not
+/// stability-guaranteed; artifact writers must go through the explicit
+/// `fmt_f64` path so committed baselines survive toolchain upgrades.
+fn float_debug_format(f: &SourceFile, report: &mut Report) {
+    if !ARTIFACT_WRITERS.contains(&f.rel.as_str()) {
+        return;
+    }
+    for (i, t) in f.toks().iter().enumerate() {
+        if f.is_test_tok(i) || t.kind != TokKind::Str {
+            continue;
+        }
+        if t.text.contains(":?") {
+            push(
+                report,
+                "float-debug-format",
+                f,
+                t.line,
+                "`{:?}` formatting in an artifact writer".to_string(),
+                "Debug output is not format-stable across toolchains; write \
+                 numbers through the writer's explicit Display path",
+            );
+        }
+    }
+}
+
+/// `unsafe-safety-comment`: every `unsafe` keyword needs a `// SAFETY:`
+/// comment on the same line or within the three lines above it.
+fn unsafe_safety_comment(f: &SourceFile, report: &mut Report) {
+    for t in f.toks() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        report.checked.unsafe_blocks += 1;
+        if !f
+            .lexed
+            .comment_contains(t.line.saturating_sub(3), t.line, "SAFETY:")
+        {
+            push(
+                report,
+                "unsafe-safety-comment",
+                f,
+                t.line,
+                "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                "state the invariant that makes the block sound in a \
+                 `// SAFETY:` comment directly above it",
+            );
+        }
+    }
+}
+
+/// `unwrap-budget`: hot-path modules carry a committed ceiling on
+/// non-test `unwrap()/expect()` calls (lint.toml `[budgets.unwrap]`).
+/// Panics on the hot path are availability hazards; the ratchet only
+/// tightens — raising a budget requires editing the committed file in
+/// review.
+fn unwrap_budget(files: &[SourceFile], cfg: &Config, report: &mut Report) {
+    for (path, &budget) in &cfg.unwrap_budgets {
+        let Some(f) = files.iter().find(|f| &f.rel == path) else {
+            report.findings.push(Finding {
+                rule: "stale-suppression",
+                file: "lint.toml".to_string(),
+                line: 0,
+                item: Some(path.clone()),
+                message: format!("[budgets.unwrap] names missing file `{path}`"),
+                hint: "remove the stale budget entry",
+            });
+            continue;
+        };
+        let toks = f.toks();
+        let mut count: u32 = 0;
+        let mut over_line = 0;
+        for (i, t) in toks.iter().enumerate() {
+            let call = t.is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+            if call && !f.is_test_tok(i) {
+                count += 1;
+                if count == budget + 1 {
+                    over_line = toks[i + 1].line;
+                }
+            }
+        }
+        if count > budget {
+            push(
+                report,
+                "unwrap-budget",
+                f,
+                over_line,
+                format!(
+                    "{count} non-test unwrap()/expect() calls exceed the \
+                     hot-path budget of {budget}"
+                ),
+                "return/propagate instead of panicking on the hot path, or — \
+                 for a genuinely impossible state — raise the committed budget \
+                 in lint.toml so the change is visible in review",
+            );
+        }
+    }
+}

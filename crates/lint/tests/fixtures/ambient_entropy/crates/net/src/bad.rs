@@ -1,0 +1,9 @@
+//! Fixture: thread_rng and an environment read — banned at every tier.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn config() -> Option<String> {
+    std::env::var("UPS_SECRET_KNOB").ok()
+}

@@ -1,0 +1,4 @@
+//! Fixture: `{:?}` formatting inside an artifact writer.
+pub fn write_row(x: f64) -> String {
+    format!("{:?}", x)
+}

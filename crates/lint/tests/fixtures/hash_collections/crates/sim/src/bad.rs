@@ -1,0 +1,21 @@
+//! Fixture: unannotated HashMap mentions in a Core-tier crate (the
+//! `use` and the field are both flagged), an annotated one (clean),
+//! and a test-only one (clean).
+use std::collections::HashMap;
+
+pub struct S {
+    map: HashMap<u64, u64>,
+}
+
+pub struct Fine {
+    // lint: keyed-lookup-only — read by key, never iterated
+    map: HashMap<u64, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    pub fn t() -> HashSet<u64> {
+        HashSet::new()
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: `inc` tests COMPILED (gated), `raise` delegates to `inc`
+//! (gated transitively), `record` does neither (flagged).
+pub const COMPILED: bool = cfg!(not(feature = "off"));
+
+pub struct Reg {
+    v: u64,
+}
+
+impl Reg {
+    pub fn inc(&mut self, by: u64) {
+        if !COMPILED {
+            return;
+        }
+        self.v += by;
+    }
+
+    pub fn raise(&mut self, by: u64) {
+        self.inc(by);
+    }
+
+    pub fn record(&mut self, by: u64) {
+        self.v += by;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.v
+    }
+}

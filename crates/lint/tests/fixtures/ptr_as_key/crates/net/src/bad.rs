@@ -1,0 +1,4 @@
+//! Fixture: a pointer laundered into a sort key.
+pub fn key_of(v: &[u8]) -> usize {
+    v.as_ptr() as usize
+}

@@ -1,0 +1,10 @@
+//! Fixture: `ghost` is registered but undocumented; the docs describe a
+//! `phantom` scenario that is not registered.
+pub struct Scenario {
+    pub name: &'static str,
+}
+
+pub static REGISTRY: &[Scenario] = &[
+    Scenario { name: "baseline" },
+    Scenario { name: "ghost" },
+];

@@ -1,0 +1,5 @@
+//! Fixture: a wall-clock hit whose allow entry has no justification —
+//! the finding must survive AND the entry must be flagged.
+pub fn t() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: one naked unsafe block (flagged) and one with a SAFETY
+//! comment (clean, but still counted in `checked.unsafe_blocks`).
+pub fn naked(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn argued(p: *const u8) -> u8 {
+    // SAFETY: fixture pointer is valid by construction in the caller.
+    unsafe { *p }
+}

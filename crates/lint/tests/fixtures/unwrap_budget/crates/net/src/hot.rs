@@ -1,0 +1,12 @@
+//! Fixture: three non-test unwraps against a committed budget of two.
+//! The test-module unwrap must not count.
+pub fn f(a: Option<u8>, b: Option<u8>, c: Option<u8>) -> u8 {
+    a.unwrap() + b.unwrap() + c.expect("c")
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn t(x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: Instant::now in a Core-tier crate (flagged) plus a
+//! SystemTime mention (flagged).
+use std::time::Instant;
+
+pub fn now_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::UNIX_EPOCH
+}

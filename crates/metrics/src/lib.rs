@@ -4,6 +4,8 @@
 //! (Figure 4), summary statistics for the Table 1 reports, and deadline
 //! miss-rate/lateness ledgers recorded through the `ups-obs` registry.
 
+#![forbid(unsafe_code)]
+
 pub mod deadline;
 pub mod fairness;
 pub mod stats;

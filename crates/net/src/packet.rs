@@ -158,6 +158,9 @@ pub(crate) fn prefetch_packet(pkt: &Packet) {
         let base = (pkt as *const Packet).cast::<u8>();
         let mut off = 0;
         while off < core::mem::size_of::<Packet>() {
+            // SAFETY: `base + off` stays within (or one past) the Packet
+            // borrowed by `pkt`; `_mm_prefetch` is a pure cache hint that
+            // never dereferences, so even a dangling address is sound.
             unsafe {
                 core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
                     base.add(off).cast(),

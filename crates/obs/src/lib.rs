@@ -35,6 +35,8 @@
 //! above it) so every layer — net, metrics, sweep, bench — can record
 //! into it without cycles.
 
+#![forbid(unsafe_code)]
+
 mod hist;
 mod registry;
 mod ring;

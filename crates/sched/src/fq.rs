@@ -13,7 +13,7 @@
 //! precision for fractional weights.
 
 use crate::soa::OrderedQueue;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ups_net::scheduler::{EvictOutcome, Queued, Scheduler};
 use ups_net::FlowId;
 
@@ -25,12 +25,15 @@ pub struct Fq {
     /// Queued packets ordered by (finish tag, arrival seq), stored
     /// struct-of-arrays (see [`crate::soa`]).
     q: OrderedQueue<u64>,
-    /// Last finish tag assigned per flow.
-    last_finish: HashMap<FlowId, u64>,
+    /// Last finish tag assigned per flow. BTreeMap rather than HashMap:
+    /// FlowId is Ord, lookups are O(log n) on a handful of active flows,
+    /// and the ordered representation means no future iteration over
+    /// this state can ever depend on SipHash seeding.
+    last_finish: BTreeMap<FlowId, u64>,
     /// Current virtual time = tag of the packet last selected for service.
     vtime: u64,
     /// Per-flow weight numerators (default 1.0); missing = 1.0.
-    weights: HashMap<FlowId, f64>,
+    weights: BTreeMap<FlowId, f64>,
 }
 
 impl Default for Fq {
@@ -44,9 +47,9 @@ impl Fq {
     pub fn new() -> Fq {
         Fq {
             q: OrderedQueue::new(),
-            last_finish: HashMap::new(),
+            last_finish: BTreeMap::new(),
             vtime: 0,
-            weights: HashMap::new(),
+            weights: BTreeMap::new(),
         }
     }
 

@@ -21,6 +21,8 @@
 //! FIFO itself lives in `ups-net` (it is the port default) and is
 //! re-exported here for completeness.
 
+#![forbid(unsafe_code)]
+
 pub mod drr;
 pub mod edf;
 pub mod factory;

@@ -10,6 +10,8 @@
 //! any path that feeds a replay comparison, and bit-for-bit reproducible
 //! runs from a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod queue;
 pub mod rng;
 pub mod time;

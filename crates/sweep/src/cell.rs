@@ -1,8 +1,12 @@
 //! Execution of a single sweep job: record the original schedule, replay
 //! it under LSTF, and report the cell's replayability metrics.
 
+// Hash maps here are keyed-lookup-only (annotated in-line for the
+// determinism lint); clippy's blanket type ban is relaxed file-wide.
+#![allow(clippy::disallowed_types)]
+
 use crate::grid::{CellCoord, SimScale};
-use std::collections::HashMap;
+use std::collections::HashMap; // lint: keyed-lookup-only — see deadline_cell
 use ups_core::replay::{
     record_original, replay_schedule, replay_schedule_lossy, ReplayMode, ReplayReport,
 };
@@ -201,6 +205,8 @@ fn deadline_cell(flows: &[FlowDesc], telemetry: &Telemetry) -> Option<DeadlineCe
     }
     // Per tagged flow: latest delivery seen and how many packets made
     // it. A flow completes only when *all* its packets were delivered.
+    // Read back via `done.get` in the ordered `flows` loop below; the
+    // map itself is never iterated. lint: keyed-lookup-only
     let mut done: HashMap<u64, (Time, u64)> = flows
         .iter()
         .filter(|f| f.deadline.is_some())

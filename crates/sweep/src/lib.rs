@@ -170,6 +170,8 @@
 //! `topo,original,util,series,x_us,mean,stddev,stderr`, one row per
 //! (cell, series, x).
 
+#![forbid(unsafe_code)]
+
 pub mod artifact;
 pub mod cell;
 pub mod diff;

@@ -28,6 +28,8 @@
 //!     + topo.host_links.len(), topo.net.links.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod fattree;
 pub mod internet2;
 pub mod rocketfuel;

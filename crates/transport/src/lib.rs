@@ -7,6 +7,8 @@
 //!   SJF/SRPT priority stamps;
 //! * [`flow`] — flow descriptors and completion results.
 
+#![forbid(unsafe_code)]
+
 pub mod flow;
 pub mod header;
 pub mod tcp;

@@ -6,6 +6,8 @@
 //! with a plain wall-clock measurement loop (one timed pass per sample,
 //! mean and min reported). No statistical analysis, plots, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -152,6 +154,8 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    // The shim IS a timer — wall-clock is its entire purpose.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,

@@ -7,6 +7,8 @@
 //! a failing case panics with the generated inputs' debug output, which
 //! is enough to reproduce (generation is seeded per test name).
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -1,0 +1,92 @@
+//! `lint` — the determinism lint CLI.
+//!
+//! Runs the ups-lint static analysis over the workspace and reports
+//! every violation of the byte-identity invariants (see docs/LINT.md
+//! for the rule catalog and suppression workflow).
+//!
+//! ```text
+//! lint [--root DIR] [--deny] [--json PATH]
+//! ```
+//!
+//! Exit codes mirror `sweep diff`:
+//!   0  clean (or findings present but `--deny` not given)
+//!   1  findings present and `--deny` given
+//!   2  usage, I/O, or lint.toml errors
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    json: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lint [--root DIR] [--deny] [--json PATH]");
+    eprintln!();
+    eprintln!("  --root DIR   workspace root to lint (default: .)");
+    eprintln!("  --deny       exit 1 when any finding survives suppression");
+    eprintln!("  --json PATH  also write the machine-readable report to PATH");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or_else(usage)?);
+            }
+            "--deny" => args.deny = true,
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or_else(usage)?));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("lint: unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let report = match ups_lint::lint_root(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.json {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("lint: creating {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.render());
+    if !report.is_clean() && args.deny {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -244,6 +244,9 @@ fn run_diff(args: &[String]) -> ! {
 /// with a bounded [`ups_obs::LifecycleRing`] enabled so `--trace-out`
 /// can export the packet-event story without perturbing the timed
 /// iterations (which run with telemetry's default-off tracing).
+// Wall-clock here measures the engine, never the simulation: walltime
+// feeds perf.json as measurement output (allowed in lint.toml too).
+#[allow(clippy::disallowed_methods)]
 fn run_bench(args: &[String]) -> ! {
     let mut rest: Vec<String> = args.to_vec();
     let out = match ups_bench::scale::take_out_flag(&mut rest) {

@@ -38,6 +38,8 @@
 //! invariants; `docs/EXPERIMENTS.md` is the reproduction guide;
 //! `docs/SCENARIOS.md` documents every registered scenario.
 
+#![forbid(unsafe_code)]
+
 pub use ups_core as core;
 pub use ups_flowgen as flowgen;
 pub use ups_metrics as metrics;
