@@ -1,0 +1,431 @@
+//! The deadline replay objective: can LSTF replay EDF?
+//!
+//! The paper's central claim is that LSTF can replay any viable
+//! schedule; the deadline regime is where that claim bites hardest.
+//! This module asks it end-to-end: record an **EDF** schedule on a
+//! deadline-mix workload (every packet carries a virtual deadline
+//! `D(p)`), then replay the identical input under a candidate UPS that
+//! only knows `D(p)` — LSTF with *deadline* slack (`D − i − tmin`,
+//! Appendix E's equivalence), EDF itself (the control), or a static
+//! two-level priority (the strawman). The replay is scored two ways:
+//!
+//! * **fidelity** against the recorded EDF output times, through the
+//!   same [`ReplayReport`] the `o(p)`-target replays use — this is the
+//!   replay question proper;
+//! * **per-flow lateness** against the real [`FlowDesc::deadline`]
+//!   budgets, through [`ups_metrics::DeadlineLedger`]
+//!   ([`deadline_flow_stats`]) — this is the miss-rate-vs-utilization
+//!   curve the deadline scenarios plot.
+//!
+//! The EDF ≡ LSTF identity the property tests pin down: EDF here keys
+//! on `prio − remaining_tmin + tx`, LSTF's LastBit key is
+//! `enq + slack_remaining + tx` with slack charged against queueing
+//! waits. Stamping `prio = D` and `slack = D − i − tmin` **unclamped**
+//! makes both keys equal `D − remaining_tmin + tx` at every hop, so the
+//! two replays are packet-for-packet identical — feasible or not. (The
+//! open-loop stamper in `ups-transport` clamps deadline slack at zero,
+//! which is right for scheduling real traffic but would break the
+//! identity exactly where it matters, on infeasible deadlines; hence
+//! this module hand-builds its headers.)
+
+use crate::replay::{score_replay, ReplayMode, ReplayReport};
+use crate::schedule::RecordedSchedule;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use ups_metrics::{DeadlineLedger, DeadlineStats};
+use ups_net::{LinkPolicy, PacketKind, SchedHeader, Telemetry, TraceLevel};
+use ups_sched::{edf, lstf_with, priority, LstfKeyMode, SchedKind};
+use ups_sim::{Dur, Time};
+use ups_topo::Topology;
+use ups_transport::FlowDesc;
+
+/// Virtual-deadline budget for packets of flows that carry no real
+/// deadline: `D = i + tmin + BEST_EFFORT_BUDGET`. Far above any budget
+/// the deadline-mix workload hands out, so best-effort traffic ranks
+/// strictly behind every urgent packet under all three candidates
+/// (after EDF's own key, behind tagged deadlines; under Prio, class 7).
+pub const BEST_EFFORT_BUDGET: Dur = Dur::from_millis(100);
+
+/// The candidate UPS of a deadline replay — the scheduler that re-runs
+/// the recorded EDF input knowing only each packet's virtual deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineMode {
+    /// EDF again (the control: must reproduce the record bit-for-bit).
+    Edf,
+    /// LSTF with deadline slack `D − i − tmin` (the paper's candidate).
+    Lstf,
+    /// Static two-level priority: tagged flows class 0, best effort
+    /// class 7 — deadline *values* are invisible, only the tag is.
+    Prio,
+}
+
+impl DeadlineMode {
+    /// Map a scenario's `sched` coordinate to the replay candidate. In
+    /// deadline-replay scenarios the coordinate names the *replay*
+    /// scheduler (the original is always EDF); anything outside the
+    /// candidate set is `None`.
+    pub fn from_sched(kind: SchedKind) -> Option<DeadlineMode> {
+        match kind {
+            SchedKind::Edf => Some(DeadlineMode::Edf),
+            SchedKind::Lstf => Some(DeadlineMode::Lstf),
+            SchedKind::Priority => Some(DeadlineMode::Prio),
+            _ => None,
+        }
+    }
+
+    /// Display label (matches the corresponding [`SchedKind`] label so
+    /// artifacts key cells by the familiar scheduler names).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadlineMode::Edf => "EDF",
+            DeadlineMode::Lstf => "LSTF",
+            DeadlineMode::Prio => "Priority",
+        }
+    }
+
+    /// The [`ReplayMode`] recorded in the report (for its `mode` field;
+    /// header construction here is deadline-specific).
+    fn replay_mode(self) -> ReplayMode {
+        match self {
+            DeadlineMode::Edf => ReplayMode::Edf,
+            DeadlineMode::Lstf => ReplayMode::lstf(),
+            DeadlineMode::Prio => ReplayMode::Priority,
+        }
+    }
+}
+
+/// The virtual deadline attached to one recorded packet.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineTag {
+    /// Absolute virtual deadline `D(p)`.
+    pub d_abs: Time,
+    /// Whether the flow carried a real [`FlowDesc::deadline`] (best-
+    /// effort packets get the synthetic [`BEST_EFFORT_BUDGET`] instead).
+    pub tagged: bool,
+}
+
+/// An EDF-recorded schedule plus the per-packet virtual deadlines that
+/// produced it, in recorded-packet order — everything a deadline replay
+/// needs to rebuild the input headers.
+#[derive(Debug, Clone)]
+pub struct DeadlineSchedule {
+    /// The recorded schedule (`{(path, i(p), o(p))}`).
+    pub schedule: RecordedSchedule,
+    /// One tag per [`RecordedSchedule::packets`] entry.
+    pub tags: Vec<DeadlineTag>,
+}
+
+/// Per-packet virtual deadline: a tagged flow's packets all share the
+/// flow's completion deadline `start + budget` (the whole flow must be
+/// done by then, so its last packet's constraint binds every packet);
+/// best-effort packets get `i + tmin +` [`BEST_EFFORT_BUDGET`].
+fn virtual_deadline(f: &FlowDesc, at: Time, tmin: Dur) -> DeadlineTag {
+    match f.deadline {
+        Some(budget) => DeadlineTag {
+            d_abs: f.start + budget,
+            tagged: true,
+        },
+        None => DeadlineTag {
+            d_abs: at + tmin + BEST_EFFORT_BUDGET,
+            tagged: false,
+        },
+    }
+}
+
+/// Record the original schedule under network-wide EDF on per-packet
+/// virtual deadlines: install EDF on every port of `topo` (freshly
+/// built with [`TraceLevel::Hops`]), inject the workload paced at the
+/// host NIC exactly like the open-loop stamper would, with
+/// `prio = D(p)` — and the *unclamped* deadline slack alongside, so the
+/// recorded headers document both views — then run to completion.
+pub fn record_deadline_original(
+    topo: &mut Topology,
+    flows: &[FlowDesc],
+    mtu: u32,
+) -> DeadlineSchedule {
+    assert_eq!(
+        topo.net.telemetry.level,
+        TraceLevel::Hops,
+        "recording requires hop-level tracing"
+    );
+    topo.net
+        .configure_links(|_| LinkPolicy::keep().buffer(None).scheduler(Box::new(edf())));
+    let routes = Arc::clone(&topo.routes);
+    let mut tags = Vec::new();
+    for f in flows {
+        let path = routes.resolve_path(f.src, f.dst, f.id);
+        let pace = path.bw[0].tx_time(mtu);
+        let tmin = path.tmin(mtu);
+        for seq in 0..f.pkts {
+            let at = f.start + pace * seq;
+            let tag = virtual_deadline(f, at, tmin);
+            let hdr = SchedHeader {
+                slack: tag.d_abs.signed_since(at) - tmin.as_i64(),
+                prio: tag.d_abs.as_ps() as i64,
+                hop_times: None,
+            };
+            topo.net.inject_on_path(
+                at,
+                f.id,
+                seq,
+                mtu,
+                f.src,
+                f.dst,
+                Arc::clone(&path),
+                hdr,
+                PacketKind::Data {
+                    bytes: mtu.saturating_sub(40),
+                },
+            );
+            tags.push(tag);
+        }
+    }
+    topo.net.run_to_completion();
+    let schedule = RecordedSchedule::from_telemetry(&topo.net.telemetry);
+    assert_eq!(
+        schedule.packets.len(),
+        tags.len(),
+        "one tag per recorded packet"
+    );
+    DeadlineSchedule { schedule, tags }
+}
+
+/// Replay a recorded EDF schedule on a *fresh* build of the same
+/// topology under `mode`, scoring fidelity against the recorded output
+/// times. Loss-free (asserts so); for a chaos-perturbed replay use
+/// [`replay_deadline_lossy`].
+pub fn replay_deadline(
+    topo: &mut Topology,
+    ds: &DeadlineSchedule,
+    mode: DeadlineMode,
+) -> ReplayReport {
+    replay_deadline_impl(topo, ds, mode, false)
+}
+
+/// Like [`replay_deadline`], but tolerant of packet loss: undelivered
+/// packets count in [`ReplayReport::lost`] and against fidelity.
+pub fn replay_deadline_lossy(
+    topo: &mut Topology,
+    ds: &DeadlineSchedule,
+    mode: DeadlineMode,
+) -> ReplayReport {
+    replay_deadline_impl(topo, ds, mode, true)
+}
+
+fn replay_deadline_impl(
+    topo: &mut Topology,
+    ds: &DeadlineSchedule,
+    mode: DeadlineMode,
+    allow_loss: bool,
+) -> ReplayReport {
+    assert_eq!(
+        topo.net.telemetry.level,
+        TraceLevel::Hops,
+        "replay scoring requires hop-level tracing"
+    );
+    assert_eq!(
+        topo.net.telemetry.counters.injected, 0,
+        "replay needs a fresh topology build"
+    );
+    topo.net.configure_links(|_| {
+        let base = LinkPolicy::keep().buffer(None);
+        match mode {
+            DeadlineMode::Edf => base.scheduler(Box::new(edf())),
+            DeadlineMode::Lstf => base.scheduler(Box::new(lstf_with(LstfKeyMode::LastBit))),
+            DeadlineMode::Prio => base.scheduler(Box::new(priority())),
+        }
+    });
+
+    for (rec, tag) in ds.schedule.packets.iter().zip(&ds.tags) {
+        let hdr = match mode {
+            DeadlineMode::Edf => SchedHeader {
+                slack: 0,
+                prio: tag.d_abs.as_ps() as i64,
+                hop_times: None,
+            },
+            DeadlineMode::Lstf => SchedHeader {
+                // Deliberately unclamped: an infeasible budget must stay
+                // comparable against EDF's absolute key (see module docs).
+                slack: tag.d_abs.signed_since(rec.i) - rec.tmin().as_i64(),
+                prio: 0,
+                hop_times: None,
+            },
+            DeadlineMode::Prio => SchedHeader {
+                slack: 0,
+                prio: if tag.tagged { 0 } else { 7 },
+                hop_times: None,
+            },
+        };
+        topo.net.inject_on_path(
+            rec.i,
+            rec.flow,
+            rec.seq,
+            rec.size,
+            rec.src,
+            rec.dst,
+            Arc::clone(&rec.path),
+            hdr,
+            PacketKind::Data {
+                bytes: rec.size.saturating_sub(40),
+            },
+        );
+    }
+    topo.net.run_to_completion();
+
+    let tel = &topo.net.telemetry;
+    if !allow_loss {
+        assert_eq!(tel.counters.dropped, 0, "replay must be drop-free");
+    }
+    let max_size = ds
+        .schedule
+        .packets
+        .iter()
+        .map(|p| p.size)
+        .max()
+        .unwrap_or(1500);
+    let t = topo.net.bottleneck_bw().tx_time(max_size);
+    score_replay(&ds.schedule, tel, mode.replay_mode(), allow_loss, t)
+}
+
+/// Reduce a run's delivery telemetry to per-flow deadline outcomes
+/// through [`DeadlineLedger`]: a tagged flow completes when *all* its
+/// packets were delivered, at the latest delivery time; it misses when
+/// that time exceeds `start + deadline` or when any packet never
+/// arrived. `None` when no flow is tagged.
+pub fn deadline_flow_stats(flows: &[FlowDesc], telemetry: &Telemetry) -> Option<DeadlineStats> {
+    if !flows.iter().any(|f| f.deadline.is_some()) {
+        return None;
+    }
+    // Per tagged flow: latest delivery seen and how many packets made it
+    // (BTreeMap: iteration-order-safe by construction, though only the
+    // ordered `flows` loop below ever reads it).
+    let mut done: BTreeMap<u64, (Time, u64)> = flows
+        .iter()
+        .filter(|f| f.deadline.is_some())
+        .map(|f| (f.id.0, (Time::ZERO, 0)))
+        .collect();
+    for rec in &telemetry.packets {
+        if let Some((latest, delivered)) = done.get_mut(&rec.flow.0) {
+            if let Some(t) = rec.delivered {
+                *latest = (*latest).max(t);
+                *delivered += 1;
+            }
+        }
+    }
+    let mut ledger = DeadlineLedger::new();
+    for f in flows {
+        let Some(budget) = f.deadline else { continue };
+        let completion = done
+            .get(&f.id.0)
+            .filter(|&&(_, delivered)| delivered == f.pkts)
+            .map(|&(latest, _)| latest);
+        ledger.observe(f.start + budget, completion);
+    }
+    Some(ledger.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ups_net::FlowId;
+    use ups_sim::Bandwidth;
+    use ups_topo::simple::star;
+
+    fn star_factory() -> Topology {
+        star(6, Bandwidth::gbps(1), Dur::from_micros(5), TraceLevel::Hops)
+    }
+
+    /// Contended deadline mix on the star: hosts 1–5 send toward host 0,
+    /// odd senders tagged with `budget`, even senders best effort.
+    fn star_flows(topo: &Topology, pkts: u64, budget: Dur) -> Vec<FlowDesc> {
+        topo.hosts[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &src)| FlowDesc {
+                id: FlowId(i as u64),
+                src,
+                dst: topo.hosts[0],
+                pkts,
+                start: Time::ZERO,
+                deadline: (i % 2 == 1).then_some(budget),
+            })
+            .collect()
+    }
+
+    fn record(flows: &[FlowDesc]) -> (Topology, DeadlineSchedule) {
+        let mut topo = star_factory();
+        let ds = record_deadline_original(&mut topo, flows, 1500);
+        (topo, ds)
+    }
+
+    #[test]
+    fn edf_control_replay_is_bit_exact() {
+        let flows = star_flows(&star_factory(), 6, Dur::from_millis(2));
+        let (_, ds) = record(&flows);
+        let mut t2 = star_factory();
+        let rep = replay_deadline(&mut t2, &ds, DeadlineMode::Edf);
+        assert_eq!(rep.max_lateness(), 0, "EDF must reproduce itself exactly");
+        assert_eq!(rep.fidelity(), 1.0);
+    }
+
+    #[test]
+    fn lstf_with_deadline_slack_replays_edf_exactly() {
+        // Appendix E, deadline edition: identical keys at every hop ⇒
+        // identical schedules, even with an infeasible (1 µs) budget.
+        for budget in [Dur::from_millis(2), Dur::from_micros(1)] {
+            let flows = star_flows(&star_factory(), 6, budget);
+            let (_, ds) = record(&flows);
+            let mut t2 = star_factory();
+            let lstf = replay_deadline(&mut t2, &ds, DeadlineMode::Lstf);
+            let mut t3 = star_factory();
+            let edf = replay_deadline(&mut t3, &ds, DeadlineMode::Edf);
+            assert_eq!(lstf.lateness, edf.lateness, "budget {budget:?}");
+            assert!(lstf.perfect(), "budget {budget:?}");
+        }
+    }
+
+    #[test]
+    fn flow_stats_mark_generous_budgets_met_and_tight_budgets_missed() {
+        let generous = star_flows(&star_factory(), 4, Dur::from_millis(5));
+        let (topo, _) = record(&generous);
+        let stats = deadline_flow_stats(&generous, &topo.net.telemetry).expect("tagged");
+        assert_eq!(stats.tagged, 2);
+        assert_eq!(stats.missed, 0);
+
+        // 1 µs is below even the uncontended path tmin: every tagged
+        // flow must miss.
+        let tight = star_flows(&star_factory(), 4, Dur::from_micros(1));
+        let (topo, _) = record(&tight);
+        let stats = deadline_flow_stats(&tight, &topo.net.telemetry).expect("tagged");
+        assert_eq!(stats.missed, stats.tagged);
+        assert!(stats.mean_lateness_us > 0.0);
+    }
+
+    #[test]
+    fn untagged_workloads_produce_no_stats() {
+        let mut flows = star_flows(&star_factory(), 2, Dur::from_millis(1));
+        for f in &mut flows {
+            f.deadline = None;
+        }
+        let (topo, _) = record(&flows);
+        assert!(deadline_flow_stats(&flows, &topo.net.telemetry).is_none());
+    }
+
+    #[test]
+    fn mode_mapping_covers_exactly_the_candidate_set() {
+        assert_eq!(
+            DeadlineMode::from_sched(SchedKind::Edf),
+            Some(DeadlineMode::Edf)
+        );
+        assert_eq!(
+            DeadlineMode::from_sched(SchedKind::Lstf),
+            Some(DeadlineMode::Lstf)
+        );
+        assert_eq!(
+            DeadlineMode::from_sched(SchedKind::Priority),
+            Some(DeadlineMode::Prio)
+        );
+        assert_eq!(DeadlineMode::from_sched(SchedKind::Fifo), None);
+        assert_eq!(DeadlineMode::Prio.label(), "Priority");
+    }
+}

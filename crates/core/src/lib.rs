@@ -10,6 +10,9 @@
 //!   any scheduler mix, re-run the identical input under LSTF /
 //!   Priority / EDF / the omniscient UPS, score overdue fractions and
 //!   queueing-delay ratios (§2.3, Table 1, Figure 1);
+//! * [`deadline`] — the deadline replay objective: record EDF on
+//!   per-packet virtual deadlines, replay with LSTF-using-deadline-slack
+//!   (or EDF / static priority), score fidelity and per-flow lateness;
 //! * [`omniscient`](mod@omniscient) — the Appendix B per-hop-vector UPS;
 //! * [`objectives`] — the §3 slack-initialization heuristics (mean FCT,
 //!   tail delay, fairness) and their experiment drivers (Figures 2–4);
@@ -48,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod deadline;
 pub mod objectives;
 pub mod omniscient;
 pub mod replay;
@@ -55,6 +59,10 @@ pub mod schedule;
 pub mod theory;
 pub mod workload;
 
+pub use deadline::{
+    deadline_flow_stats, record_deadline_original, replay_deadline, replay_deadline_lossy,
+    DeadlineMode, DeadlineSchedule, DeadlineTag,
+};
 pub use objectives::{run_fairness, run_fct, run_goodput, run_tail_delays, Scheme};
 pub use omniscient::{omniscient, Omniscient};
 pub use replay::{

@@ -16,7 +16,7 @@
 use crate::omniscient::omniscient;
 use crate::schedule::RecordedSchedule;
 use std::sync::Arc;
-use ups_net::{LinkPolicy, PacketKind, SchedHeader, TraceLevel};
+use ups_net::{LinkPolicy, PacketKind, SchedHeader, Telemetry, TraceLevel};
 use ups_sched::{edf, lstf_with, priority, LstfKeyMode, SchedKind};
 use ups_sim::Dur;
 use ups_topo::Topology;
@@ -267,14 +267,10 @@ fn replay_schedule_impl(
     }
     topo.net.run_to_completion();
 
-    // Score: replay packet ids are assigned in injection order, which is
-    // exactly the recorded order (telemetry keeps one dense record per
-    // injection even for packets that are later dropped).
     let tel = &topo.net.telemetry;
     if !allow_loss {
         assert_eq!(tel.counters.dropped, 0, "replay must be drop-free");
     }
-    assert_eq!(tel.packets.len(), schedule.packets.len());
     let max_size = schedule
         .packets
         .iter()
@@ -282,7 +278,24 @@ fn replay_schedule_impl(
         .max()
         .unwrap_or(1500);
     let t = topo.net.bottleneck_bw().tx_time(max_size);
+    score_replay(schedule, tel, mode, allow_loss, t)
+}
 
+/// Score a completed replay run against the recorded schedule: replay
+/// packet ids are assigned in injection order, which is exactly the
+/// recorded order (telemetry keeps one dense record per injection even
+/// for packets that are later dropped). Shared by the `o(p)`-target
+/// replays above and the deadline-objective replays
+/// ([`crate::deadline`]), which build their own headers but score the
+/// same way.
+pub(crate) fn score_replay(
+    schedule: &RecordedSchedule,
+    tel: &Telemetry,
+    mode: ReplayMode,
+    allow_loss: bool,
+    t: Dur,
+) -> ReplayReport {
+    assert_eq!(tel.packets.len(), schedule.packets.len());
     let mut lateness = Vec::with_capacity(schedule.packets.len());
     let mut ratios = Vec::new();
     let (mut overdue, mut overdue_gt_t, mut lost) = (0usize, 0usize, 0usize);

@@ -1,18 +1,20 @@
 //! Execution of a single sweep job: record the original schedule, replay
-//! it under LSTF, and report the cell's replayability metrics.
-
-// Hash maps here are keyed-lookup-only (annotated in-line for the
-// determinism lint); clippy's blanket type ban is relaxed file-wide.
-#![allow(clippy::disallowed_types)]
+//! it under a candidate UPS, and report the cell's replayability metrics.
+//! Two pipelines share this machinery ([`CellPipeline`]): the classic
+//! record-under-`coord.sched` / replay-under-LSTF leg, and the deadline
+//! leg that records EDF on virtual deadlines and replays under the
+//! candidate named by `coord.sched`.
 
 use crate::grid::{CellCoord, SimScale};
-use std::collections::HashMap; // lint: keyed-lookup-only — see deadline_cell
+use ups_core::deadline::{
+    deadline_flow_stats, record_deadline_original, replay_deadline, replay_deadline_lossy,
+    DeadlineMode,
+};
 use ups_core::replay::{
     record_original, replay_schedule, replay_schedule_lossy, ReplayMode, ReplayReport,
 };
 use ups_core::workload::WorkloadKind;
 use ups_core::RecordedSchedule;
-use ups_metrics::DeadlineLedger;
 use ups_net::Telemetry;
 use ups_obs::NetSeries;
 use ups_sim::Time;
@@ -199,38 +201,10 @@ pub fn record_and_replay_observed(
 /// Reduce a run's delivery telemetry to deadline outcomes. `None` when
 /// the workload tagged no flows — which is what keeps deadline-free
 /// artifacts (every committed baseline) byte-identical to before.
+/// The flow-completion bookkeeping itself lives in
+/// [`ups_core::deadline::deadline_flow_stats`].
 fn deadline_cell(flows: &[FlowDesc], telemetry: &Telemetry) -> Option<DeadlineCell> {
-    if !flows.iter().any(|f| f.deadline.is_some()) {
-        return None;
-    }
-    // Per tagged flow: latest delivery seen and how many packets made
-    // it. A flow completes only when *all* its packets were delivered.
-    // Read back via `done.get` in the ordered `flows` loop below; the
-    // map itself is never iterated. lint: keyed-lookup-only
-    let mut done: HashMap<u64, (Time, u64)> = flows
-        .iter()
-        .filter(|f| f.deadline.is_some())
-        .map(|f| (f.id.0, (Time::ZERO, 0)))
-        .collect();
-    for rec in &telemetry.packets {
-        if let Some((latest, delivered)) = done.get_mut(&rec.flow.0) {
-            if let Some(t) = rec.delivered {
-                *latest = (*latest).max(t);
-                *delivered += 1;
-            }
-        }
-    }
-    let mut ledger = DeadlineLedger::new();
-    for f in flows {
-        let Some(budget) = f.deadline else { continue };
-        let completion = done
-            .get(&f.id.0)
-            .filter(|&&(_, delivered)| delivered == f.pkts)
-            .map(|&(latest, _)| latest);
-        ledger.observe(f.start + budget, completion);
-    }
-    let stats = ledger.stats();
-    Some(DeadlineCell {
+    deadline_flow_stats(flows, telemetry).map(|stats| DeadlineCell {
         tagged: stats.tagged,
         missed: stats.missed,
         miss_rate: stats.miss_rate(),
@@ -272,11 +246,108 @@ pub fn run_cell_workload(
     seed: u64,
     workload: WorkloadKind,
 ) -> CellMetrics {
-    let run = record_and_replay_observed(coord, sim, seed, ReplayMode::lstf(), workload);
-    let mut metrics = CellMetrics::of(&run.report, &run.schedule);
-    metrics.deadline = run.deadline;
-    metrics.chaos = run.chaos;
-    metrics
+    CellPipeline::Replay.cell(coord, sim, seed, workload)
+}
+
+/// Which record-and-replay leg a scenario's cells run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellPipeline {
+    /// The classic leg: record under the cell's `sched` coordinate (the
+    /// original scheduler), replay under non-preemptive LSTF with
+    /// `o(p)`-derived slack.
+    Replay,
+    /// The deadline leg: record under network-wide EDF on per-packet
+    /// virtual deadlines, replay under the candidate the cell's `sched`
+    /// coordinate names (EDF / LSTF-with-deadline-slack / Priority) —
+    /// the coordinate is the *replay* scheduler here, and the artifact's
+    /// `original` column carries its label.
+    DeadlineReplay,
+}
+
+impl CellPipeline {
+    /// Run one observed replicate through this pipeline.
+    pub fn observed(
+        self,
+        coord: &CellCoord,
+        sim: &SimScale,
+        seed: u64,
+        workload: WorkloadKind,
+    ) -> ObservedRun {
+        match self {
+            CellPipeline::Replay => {
+                record_and_replay_observed(coord, sim, seed, ReplayMode::lstf(), workload)
+            }
+            CellPipeline::DeadlineReplay => {
+                record_and_replay_deadline_observed(coord, sim, seed, workload)
+            }
+        }
+    }
+
+    /// Run one replicate and reduce it to the cell's metrics.
+    pub fn cell(
+        self,
+        coord: &CellCoord,
+        sim: &SimScale,
+        seed: u64,
+        workload: WorkloadKind,
+    ) -> CellMetrics {
+        let run = self.observed(coord, sim, seed, workload);
+        let mut metrics = CellMetrics::of(&run.report, &run.schedule);
+        metrics.deadline = run.deadline;
+        metrics.chaos = run.chaos;
+        metrics
+    }
+}
+
+/// The deadline pipeline's observed replicate: record EDF on virtual
+/// deadlines (clean — chaos perturbs the replay leg only, like the
+/// classic pipeline), rebuild, replay under the candidate named by
+/// `coord.sched`, and reduce the replay's delivery telemetry to
+/// per-flow deadline outcomes.
+pub fn record_and_replay_deadline_observed(
+    coord: &CellCoord,
+    sim: &SimScale,
+    seed: u64,
+    workload: WorkloadKind,
+) -> ObservedRun {
+    let mode = DeadlineMode::from_sched(coord.sched).unwrap_or_else(|| {
+        panic!(
+            "deadline-replay cells take EDF/LSTF/Priority sched coordinates, got {}",
+            coord.sched.label()
+        )
+    });
+    let mut orig_topo = coord.topo.build(sim);
+    let flows = workload.build(&orig_topo, coord.util, sim.horizon, seed);
+    let ds = record_deadline_original(&mut orig_topo, &flows, 1500);
+    let series = orig_topo.net.take_series();
+    drop(orig_topo);
+    let mut replay_topo = coord.topo.build(sim);
+    let (report, chaos) = match coord.chaos.to_policy() {
+        None => (replay_deadline(&mut replay_topo, &ds, mode), None),
+        Some(policy) => {
+            let chaos_horizon = Time::ZERO + sim.horizon * 8;
+            replay_topo
+                .net
+                .install_chaos(chaos_horizon, |_| Some(policy.clone()));
+            let report = replay_deadline_lossy(&mut replay_topo, &ds, mode);
+            let totals = replay_topo.net.chaos_totals();
+            let cell = ChaosCell {
+                fidelity: report.fidelity(),
+                frac_lost: report.frac_lost(),
+                chaos_drops: totals.drops,
+                outage_us: totals.outage.as_micros_f64(),
+            };
+            (report, Some(cell))
+        }
+    };
+    let deadline = deadline_cell(&flows, &replay_topo.net.telemetry);
+    ObservedRun {
+        report,
+        schedule: ds.schedule,
+        deadline,
+        chaos,
+        series,
+    }
 }
 
 #[cfg(test)]

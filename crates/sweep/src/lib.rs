@@ -135,6 +135,16 @@
 //! `label` appears only on categorical axes (e.g. Figure 2's flow-size
 //! buckets, where `x` is the bucket index).
 //!
+//! Deadline-replay scenarios ([`cell::CellPipeline::DeadlineReplay`],
+//! e.g. `i2-deadline-replay`) additionally write a figure artifact
+//! `<name>_fig.json`/`.csv` in this same schema: one series per replay
+//! candidate (`EDF`, `LSTF`, `Priority`), the `util` axis, and the
+//! per-cell `deadline_miss_rate` stat as the plotted points — the
+//! miss-rate-vs-utilization curves, built from the table report (so
+//! byte-identical for any `--jobs N` by construction). In those
+//! scenarios' table artifacts the `original` column carries the *replay*
+//! candidate's label; the recorded original is always EDF.
+//!
 //! CSV (long format): header
 //! `series,metric,x,label,mean,stddev,stderr`; scalar rows carry the
 //! scalar name in `metric` with empty `x`/`label`, point rows carry the
@@ -184,8 +194,9 @@ pub mod telemetry;
 
 pub use artifact::Json;
 pub use cell::{
-    record_and_replay, record_and_replay_observed, record_and_replay_workload, run_cell,
-    run_cell_workload, CellMetrics, ChaosCell, DeadlineCell, DistMetrics, ObservedRun,
+    record_and_replay, record_and_replay_deadline_observed, record_and_replay_observed,
+    record_and_replay_workload, run_cell, run_cell_workload, CellMetrics, CellPipeline, ChaosCell,
+    DeadlineCell, DistMetrics, ObservedRun,
 };
 pub use diff::{diff_artifacts, DiffOptions, DiffReport};
 pub use engine::{

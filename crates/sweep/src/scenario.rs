@@ -24,9 +24,9 @@
 //! assert!(scenario::names().contains(&"rocketfuel-full"));
 //! ```
 
-use crate::cell::run_cell_workload;
-use crate::engine::{run_sweep_with, SweepReport};
-use crate::grid::{CellCoord, ChaosSpec, SimScale, SweepSpec, TopoKind};
+use crate::cell::CellPipeline;
+use crate::engine::{run_sweep_with, DistResult, FigReport, Stat, SweepReport};
+use crate::grid::{CellCoord, ChaosSpec, FigAxis, SimScale, SweepSpec, TopoKind};
 use ups_core::WorkloadKind;
 use ups_sched::SchedKind;
 use ups_topo::internet2::I2Variant;
@@ -45,8 +45,14 @@ pub struct Scenario {
     pub topo: TopoKind,
     /// Workload family every cell draws its flows from.
     pub workload: WorkloadKind,
-    /// Original schedulers whose schedules LSTF replays (one grid
-    /// column each).
+    /// Which record-and-replay leg the cells run. Under
+    /// [`CellPipeline::Replay`], `scheds` lists the *original*
+    /// schedulers LSTF replays; under
+    /// [`CellPipeline::DeadlineReplay`], the original is always EDF and
+    /// `scheds` lists the *replay* candidates (EDF, LSTF, Priority).
+    pub pipeline: CellPipeline,
+    /// Scheduler grid column (see [`Scenario::pipeline`] for whether it
+    /// names the original or the replay candidate).
     pub scheds: &'static [SchedKind],
     /// Target utilizations (one grid column each).
     pub utils: &'static [f64],
@@ -88,8 +94,61 @@ impl Scenario {
     /// seed) — the spec must come from [`Scenario::spec`].
     pub fn run_spec(&self, spec: &SweepSpec, sim: &SimScale, jobs: usize) -> SweepReport {
         let workload = self.workload;
+        let pipeline = self.pipeline;
         run_sweep_with(spec, sim.label, jobs, move |job| {
-            run_cell_workload(&job.coord, sim, job.seed, workload)
+            pipeline.cell(&job.coord, sim, job.seed, workload)
+        })
+    }
+
+    /// The figure-style payload of a deadline-replay scenario: one
+    /// miss-rate-vs-utilization curve per replay candidate, with the
+    /// Welford error bars the table report already aggregated. `None`
+    /// for classic-pipeline scenarios. Built purely from the (already
+    /// `--jobs`-independent) table report, so the figure artifact is
+    /// byte-identical for any worker count by construction; it lands as
+    /// `<name>_fig.json`/`.csv` next to the table.
+    pub fn miss_curves(&self, report: &SweepReport) -> Option<FigReport> {
+        if self.pipeline != CellPipeline::DeadlineReplay {
+            return None;
+        }
+        // spec() expands sched-major, util-next, drop-minor; the curve
+        // reads each (sched, util)'s first-drop (clean-control) cell.
+        let per_sched = self.utils.len() * self.drops.len();
+        let results: Vec<DistResult> = self
+            .scheds
+            .iter()
+            .enumerate()
+            .map(|(si, &sched)| {
+                let cells = &report.results[si * per_sched..(si + 1) * per_sched];
+                DistResult {
+                    series: sched.label().to_string(),
+                    replicates: cells.first().map_or(0, |c| c.replicates),
+                    scalars: Vec::new(),
+                    points: (0..self.utils.len())
+                        .map(|ui| {
+                            let cell = &cells[ui * self.drops.len()];
+                            cell.deadline.map_or(
+                                Stat {
+                                    mean: 0.0,
+                                    stddev: 0.0,
+                                    stderr: 0.0,
+                                },
+                                |d| d.miss_rate,
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Some(FigReport {
+            name: format!("{}_fig", self.name),
+            title: format!("Deadline miss rate vs utilization — {}", self.title),
+            scale: report.scale.clone(),
+            base_seed: report.base_seed,
+            replicates: report.replicates,
+            axis: FigAxis::numeric("util", self.utils.to_vec()),
+            scalar_names: Vec::new(),
+            results,
         })
     }
 
@@ -119,17 +178,28 @@ impl Scenario {
                     .join(", ")
             )
         };
+        let (sched_role, fig) = match self.pipeline {
+            CellPipeline::Replay => ("originals:", String::new()),
+            CellPipeline::DeadlineReplay => (
+                "replays:  ",
+                format!(
+                    "           target/sweep/{name}_fig.json, \
+                     target/sweep/{name}_fig.csv\n",
+                    name = self.name
+                ),
+            ),
+        };
         format!(
             "{name} — {title}\n\
              topology:  {topo}\n\
              workload:  {workload}\n\
-             originals: {scheds}\n\
+             {sched_role} {scheds}\n\
              utils:     {utils}\n\
              {drops}\
              cells:     {cells}\n\n\
              {detail}\n\n\
              run:       cargo run --release --bin sweep -- --grid {name} --jobs 4\n\
-             artifacts: target/sweep/{name}.json, target/sweep/{name}.csv\n",
+             artifacts: target/sweep/{name}.json, target/sweep/{name}.csv\n{fig}",
             name = self.name,
             title = self.title,
             topo = self.topo.label(),
@@ -151,6 +221,7 @@ pub const REGISTRY: &[Scenario] = &[
                  <1% of packets overdue beyond T even at 90% load.",
         topo: TopoKind::I2(I2Variant::Default1g10g),
         workload: WorkloadKind::Web,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Random],
         utils: &[0.1, 0.3, 0.5, 0.7, 0.9],
         drops: &[0],
@@ -165,6 +236,7 @@ pub const REGISTRY: &[Scenario] = &[
                  the mix changes burst structure, not the slack argument.",
         topo: TopoKind::I2(I2Variant::Default1g10g),
         workload: WorkloadKind::DeadlineMix,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
         drops: &[0],
@@ -179,6 +251,7 @@ pub const REGISTRY: &[Scenario] = &[
                  (~2,500 nodes); quick-scale runs take tens of seconds.",
         topo: TopoKind::RocketFuelFull,
         workload: WorkloadKind::Web,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
         drops: &[0],
@@ -193,6 +266,7 @@ pub const REGISTRY: &[Scenario] = &[
                  event-core claim (see crates/bench/benches/large_topo.rs).",
         topo: TopoKind::FatTreeK(8),
         workload: WorkloadKind::Web,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
         drops: &[0],
@@ -206,6 +280,7 @@ pub const REGISTRY: &[Scenario] = &[
                  calibrates the epoch rate against the receiver NIC.",
         topo: TopoKind::FatTreeK(8),
         workload: WorkloadKind::Incast,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Random],
         utils: &[0.3, 0.7],
         drops: &[0],
@@ -219,6 +294,7 @@ pub const REGISTRY: &[Scenario] = &[
                  originals; CI and the scenario_tour example run it.",
         topo: TopoKind::FatTreeK(4),
         workload: WorkloadKind::Incast,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Fifo, SchedKind::Sjf, SchedKind::Random],
         utils: &[0.7],
         drops: &[0],
@@ -234,6 +310,7 @@ pub const REGISTRY: &[Scenario] = &[
                  and frac_lost track the drop rate times mean path length.",
         topo: TopoKind::I2(I2Variant::Default1g10g),
         workload: WorkloadKind::Web,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Random],
         utils: &[0.7],
         drops: &[0, 1_000, 10_000],
@@ -248,9 +325,48 @@ pub const REGISTRY: &[Scenario] = &[
                  must stay byte-identical to the dc-k8-web baseline shape).",
         topo: TopoKind::FatTreeK(8),
         workload: WorkloadKind::Web,
+        pipeline: CellPipeline::Replay,
         scheds: &[SchedKind::Fifo, SchedKind::Random],
         utils: &[0.7],
         drops: &[0, 1_000, 10_000],
+    },
+    Scenario {
+        name: "i2-deadline-replay",
+        title: "Can LSTF replay EDF? Deadline-mix replay on Internet2",
+        detail: "The paper's central question asked in the deadline regime: \
+                 record network-wide EDF on the deadline-mix workload (every \
+                 packet stamped with its flow's virtual deadline), then \
+                 replay the identical input under EDF (control), \
+                 LSTF-with-deadline-slack (Appendix E predicts a \
+                 packet-for-packet identical schedule — frac_overdue 0 in \
+                 the EDF and LSTF columns), and a static two-level priority \
+                 (the strawman that only sees the tag, not the value). The \
+                 deadline_miss_rate column against utilization is the \
+                 figure payload, written alongside as \
+                 i2-deadline-replay_fig.json.",
+        topo: TopoKind::I2(I2Variant::Default1g10g),
+        workload: WorkloadKind::DeadlineMix,
+        pipeline: CellPipeline::DeadlineReplay,
+        scheds: &[SchedKind::Edf, SchedKind::Lstf, SchedKind::Priority],
+        utils: &[0.1, 0.3, 0.5, 0.7, 0.9],
+        drops: &[0],
+    },
+    Scenario {
+        name: "dc-k8-deadline-replay",
+        title: "EDF-vs-LSTF deadline replay on the fat-tree k=8 datacenter",
+        detail: "i2-deadline-replay's question at datacenter scale: 128 \
+                 hosts, full bisection, the deadline-mix workload's urgent \
+                 flows racing their budgets across three candidate replays. \
+                 Full bisection keeps miss rates near zero until high load, \
+                 so the interesting part of the miss-rate curve is the 90% \
+                 cell; the Priority column shows what ignoring deadline \
+                 values (keeping only the urgent/best-effort tag) costs.",
+        topo: TopoKind::FatTreeK(8),
+        workload: WorkloadKind::DeadlineMix,
+        pipeline: CellPipeline::DeadlineReplay,
+        scheds: &[SchedKind::Edf, SchedKind::Lstf, SchedKind::Priority],
+        utils: &[0.3, 0.6, 0.9],
+        drops: &[0],
     },
 ];
 
@@ -346,6 +462,77 @@ mod tests {
             assert!(listing.contains(s.name), "list missing {}", s.name);
             assert!(s.describe().contains(s.name));
         }
+    }
+
+    #[test]
+    fn miss_curves_index_the_grid_correctly_and_only_for_deadline_replay() {
+        use crate::engine::{DeadlineAgg, SweepResult};
+        let s = find("i2-deadline-replay").unwrap();
+        assert_eq!(s.pipeline, CellPipeline::DeadlineReplay);
+        // Synthetic report in spec cell order: miss rate encodes the
+        // (sched, util) coordinate, so the curve builder's indexing is
+        // checked without running the simulator.
+        let spec = s.spec();
+        let zero = Stat {
+            mean: 0.0,
+            stddev: 0.0,
+            stderr: 0.0,
+        };
+        let stat = |m: f64| Stat {
+            mean: m,
+            stddev: 0.25,
+            stderr: 0.125,
+        };
+        let results: Vec<SweepResult> = spec
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, &coord)| SweepResult {
+                coord,
+                replicates: 2,
+                total: zero,
+                frac_overdue: zero,
+                frac_gt_t: zero,
+                t_us: zero,
+                max_cp: zero,
+                mean_slack_us: zero,
+                deadline: Some(DeadlineAgg {
+                    tagged: zero,
+                    miss_rate: stat(i as f64),
+                    mean_lateness_us: zero,
+                    p99_lateness_us: zero,
+                }),
+                chaos: None,
+            })
+            .collect();
+        let report = SweepReport {
+            name: spec.name.clone(),
+            scale: "tiny".to_string(),
+            base_seed: 1,
+            replicates: 2,
+            results,
+        };
+        let fig = s
+            .miss_curves(&report)
+            .expect("deadline scenario has curves");
+        assert_eq!(fig.name, "i2-deadline-replay_fig");
+        assert_eq!(fig.axis.name, "util");
+        assert_eq!(fig.axis.xs, s.utils.to_vec());
+        assert_eq!(fig.results.len(), 3);
+        let labels: Vec<&str> = fig.results.iter().map(|r| r.series.as_str()).collect();
+        assert_eq!(labels, ["EDF", "LSTF", "Priority"]);
+        for (si, series) in fig.results.iter().enumerate() {
+            assert_eq!(series.replicates, 2);
+            assert_eq!(series.points.len(), s.utils.len());
+            for (ui, p) in series.points.iter().enumerate() {
+                // Cell index in sched-major, util-next, drop-minor order.
+                let want = (si * s.utils.len() * s.drops.len() + ui * s.drops.len()) as f64;
+                assert_eq!(p.mean, want, "series {si} point {ui}");
+                assert_eq!(p.stddev, 0.25, "error bars must survive");
+            }
+        }
+        // Classic-pipeline scenarios carry no figure payload.
+        assert!(find("i2-web").unwrap().miss_curves(&report).is_none());
     }
 
     #[test]

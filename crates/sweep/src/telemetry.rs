@@ -16,14 +16,13 @@
 //! `series`, and points carry their own `x` (µs).
 
 use crate::artifact::{csv_field, Json};
-use crate::cell::{record_and_replay_observed, CellMetrics};
+use crate::cell::{CellMetrics, CellPipeline};
 use crate::engine::{aggregate_cells, Stat, SweepReport};
 use crate::grid::{CellCoord, SimScale, SweepSpec};
 use crate::pool::run_indexed;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
-use ups_core::replay::ReplayMode;
 use ups_core::WorkloadKind;
 use ups_obs::NetSeries;
 use ups_sim::{Dur, Time};
@@ -98,6 +97,7 @@ pub fn run_telemetry_sweep(
     sim: &SimScale,
     jobs: usize,
     workload: WorkloadKind,
+    pipeline: CellPipeline,
     interval: Dur,
 ) -> (SweepReport, TelemetryReport) {
     assert!(interval > Dur::ZERO, "sampling interval must be positive");
@@ -112,8 +112,7 @@ pub fn run_telemetry_sweep(
     ups_obs::set_sample_interval(Some(interval));
     let expanded = spec.jobs();
     let measured = run_indexed(&expanded, jobs, |_, job| {
-        let run =
-            record_and_replay_observed(&job.coord, sim, job.seed, ReplayMode::lstf(), workload);
+        let run = pipeline.observed(&job.coord, sim, job.seed, workload);
         let mut metrics = CellMetrics::of(&run.report, &run.schedule);
         metrics.deadline = run.deadline;
         metrics.chaos = run.chaos;
@@ -322,8 +321,14 @@ mod tests {
     #[test]
     fn telemetry_sweep_samples_and_diffs_cleanly() {
         let interval = Dur::from_micros(100);
-        let (table, telemetry) =
-            run_telemetry_sweep(&tiny_spec(), &tiny(), 2, WorkloadKind::Web, interval);
+        let (table, telemetry) = run_telemetry_sweep(
+            &tiny_spec(),
+            &tiny(),
+            2,
+            WorkloadKind::Web,
+            CellPipeline::Replay,
+            interval,
+        );
         // Sampling restored the global to its prior (off) state.
         assert_eq!(ups_obs::sample_interval(), None);
         assert_eq!(table.results.len(), 1);
@@ -356,7 +361,14 @@ mod tests {
         assert!(report.compared > 0);
         // Worker-count independence: the same sweep on 1 worker
         // serializes byte-identically.
-        let (_, again) = run_telemetry_sweep(&tiny_spec(), &tiny(), 1, WorkloadKind::Web, interval);
+        let (_, again) = run_telemetry_sweep(
+            &tiny_spec(),
+            &tiny(),
+            1,
+            WorkloadKind::Web,
+            CellPipeline::Replay,
+            interval,
+        );
         assert_eq!(again.to_json(), json);
         // CSV is aligned.
         let csv = telemetry.to_csv();

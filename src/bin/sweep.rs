@@ -34,9 +34,31 @@ use ups_net::TraceLevel;
 use ups_sim::Dur;
 use ups_sweep::scenario::{self, Scenario};
 use ups_sweep::{
-    diff_artifacts, perf, run_cell_workload, run_sweep_with, run_telemetry_sweep, ChaosSpec,
-    DiffOptions, PerfEntry, SweepReport, SweepSpec,
+    diff_artifacts, perf, run_sweep_with, run_telemetry_sweep, CellPipeline, ChaosSpec,
+    DiffOptions, PerfEntry, SweepReport, SweepSpec, TelemetryReport,
 };
+
+/// Write a line to stdout, swallowing write failures: when stdout is
+/// piped through e.g. `head`, the reader can close the pipe before the
+/// sweep finishes, and std maps the resulting `EPIPE` to a `println!`
+/// panic (Rust ignores SIGPIPE). The sweep must still write its JSON/CSV
+/// artifacts and exit cleanly in that case, so every stdout write in
+/// this binary goes through `out!`/`out_inline!` instead. Diagnostics on
+/// stderr keep using `eprintln!`.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+/// [`out!`] without the trailing newline (the `print!` analogue).
+macro_rules! out_inline {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = write!(std::io::stdout(), $($arg)*);
+    }};
+}
 
 const GRIDS: &str = "table1 (default), smoke, util, sched, topo, or any \
                      registered scenario (see `sweep scenarios list`)";
@@ -173,9 +195,14 @@ fn take_chaos_flags(args: &mut Vec<String>) -> Result<Option<ChaosSpec>, String>
 /// Apply a `--chaos-*` override to every cell of the grid.
 fn apply_chaos(mut spec: SweepSpec, chaos: Option<ChaosSpec>) -> SweepSpec {
     if let Some(c) = chaos {
-        println!(
+        out!(
             "chaos: overriding every cell (drop {} ppm, fail {}/{} us, jam {}/{} us, seed {})",
-            c.drop_ppm, c.fail_down_us, c.fail_period_us, c.jam_burst_us, c.jam_period_us, c.seed
+            c.drop_ppm,
+            c.fail_down_us,
+            c.fail_period_us,
+            c.jam_burst_us,
+            c.jam_period_us,
+            c.seed
         );
         for cell in &mut spec.cells {
             cell.chaos = c;
@@ -220,17 +247,17 @@ fn run_diff(args: &[String]) -> ! {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    println!(
+    out!(
         "sweep diff: {} vs {}",
         old_path.display(),
         new_path.display()
     );
-    print!("{}", report.render());
+    out_inline!("{}", report.render());
     if report.is_clean() {
-        println!("artifacts match");
+        out!("artifacts match");
         std::process::exit(0);
     }
-    println!("artifacts DIFFER");
+    out!("artifacts DIFFER");
     std::process::exit(1);
 }
 
@@ -302,7 +329,7 @@ fn run_bench(args: &[String]) -> ! {
     let history_path = history_path.unwrap_or_else(|| out.join("perf-history.jsonl"));
     let k = scale.fattree_k;
     let bench_name = format!("fattree_k{k}_web_forwarding");
-    println!(
+    out!(
         "bench {bench_name}: scale {}, {iters} timed iteration(s){}",
         scale.label,
         if handicap != 1.0 {
@@ -335,7 +362,7 @@ fn run_bench(args: &[String]) -> ! {
     let warm = run_once(Some(65_536));
     let delivered = warm.net.telemetry.counters.delivered;
     if let Some(ring) = warm.net.telemetry.lifecycle.as_ref() {
-        println!(
+        out!(
             "warmup: {delivered} pkts delivered, {} lifecycle events ({} retained)",
             ring.total(),
             ring.len()
@@ -345,7 +372,7 @@ fn run_bench(args: &[String]) -> ! {
                 eprintln!("error: writing {}: {e}", path.display());
                 std::process::exit(2);
             }
-            println!("wrote lifecycle trace {}", path.display());
+            out!("wrote lifecycle trace {}", path.display());
         }
     }
     drop(warm);
@@ -356,7 +383,7 @@ fn run_bench(args: &[String]) -> ! {
         let topo = run_once(None);
         let ms = t0.elapsed().as_secs_f64() * 1e3 * handicap;
         std::hint::black_box(topo.net.telemetry.counters.delivered);
-        println!("  iter {n}: {ms:.3} ms");
+        out!("  iter {n}: {ms:.3} ms");
         times_ms.push(ms);
     }
     let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
@@ -370,9 +397,10 @@ fn run_bench(args: &[String]) -> ! {
         mean_ms,
         pkts_per_sec: pkts as f64 / (min_ms / 1e3),
     };
-    println!(
+    out!(
         "{}: min {min_ms:.3} ms, mean {mean_ms:.3} ms, {:.0} pkts/s",
-        entry.bench, entry.pkts_per_sec
+        entry.bench,
+        entry.pkts_per_sec
     );
 
     let prior_text = std::fs::read_to_string(&history_path).unwrap_or_default();
@@ -398,7 +426,7 @@ fn run_bench(args: &[String]) -> ! {
         eprintln!("error: writing {}: {e}", history_path.display());
         std::process::exit(2);
     }
-    println!(
+    out!(
         "appended to {} ({} prior entries)",
         history_path.display(),
         history.len()
@@ -409,13 +437,11 @@ fn run_bench(args: &[String]) -> ! {
     };
     match perf::gate(&history, &entry, pct) {
         Ok(None) => {
-            println!("perf gate: no prior baseline for this bench + scale; recorded");
+            out!("perf gate: no prior baseline for this bench + scale; recorded");
             std::process::exit(0);
         }
         Ok(Some(best)) => {
-            println!(
-                "perf gate: OK — min {min_ms:.3} ms vs prior best {best:.3} ms (+{pct}% allowed)"
-            );
+            out!("perf gate: OK — min {min_ms:.3} ms vs prior best {best:.3} ms (+{pct}% allowed)");
             std::process::exit(0);
         }
         Err(msg) => {
@@ -429,9 +455,9 @@ fn run_bench(args: &[String]) -> ! {
 fn run_scenarios(args: &[String]) -> ! {
     match args.first().map(String::as_str) {
         None | Some("list") => {
-            print!("{}", scenario::render_list());
-            println!("\nrun one:  sweep --grid <name>  (or: sweep scenarios run <name>)");
-            println!("details:  sweep scenarios describe <name>  ·  docs/SCENARIOS.md");
+            out_inline!("{}", scenario::render_list());
+            out!("\nrun one:  sweep --grid <name>  (or: sweep scenarios run <name>)");
+            out!("details:  sweep scenarios describe <name>  ·  docs/SCENARIOS.md");
             std::process::exit(0);
         }
         Some("describe") => {
@@ -443,7 +469,7 @@ fn run_scenarios(args: &[String]) -> ! {
                     "unknown scenario `{name}` (see `sweep scenarios list`)"
                 ));
             };
-            print!("{}", s.describe());
+            out_inline!("{}", s.describe());
             std::process::exit(0);
         }
         Some("run") => {
@@ -481,7 +507,7 @@ fn run_scenarios(args: &[String]) -> ! {
 }
 
 fn announce(spec: &SweepSpec, scale: &Scale) {
-    println!(
+    out!(
         "sweep `{}`: {} cells x {} replicate(s) = {} jobs on {} worker(s), scale {}",
         spec.name,
         spec.cells.len(),
@@ -492,13 +518,35 @@ fn announce(spec: &SweepSpec, scale: &Scale) {
     );
 }
 
-fn write_report(report: &SweepReport, out: &Path) -> ! {
+/// Print the table, write every artifact the run produced — table
+/// JSON/CSV, optional telemetry series, and (for deadline-replay
+/// scenarios) the miss-rate-vs-utilization figure — then exit.
+fn finish(
+    report: &SweepReport,
+    telem: Option<&TelemetryReport>,
+    s: Option<&Scenario>,
+    out: &Path,
+) -> ! {
     print_report(report);
-    match report.write(out) {
-        Ok((json, csv)) => {
-            println!("\nwrote {} and {}", json.display(), csv.display());
-            std::process::exit(0);
+    let written = (|| -> std::io::Result<()> {
+        let (json, csv) = report.write(out)?;
+        out!("\nwrote {} and {}", json.display(), csv.display());
+        if let Some(t) = telem {
+            let (tj, tc) = t.write(out)?;
+            out!("wrote {} and {}", tj.display(), tc.display());
         }
+        if let Some(fig) = s.and_then(|s| s.miss_curves(report)) {
+            let (fj, fc) = fig.write(out)?;
+            out!(
+                "wrote {} and {} (miss-rate-vs-utilization curves)",
+                fj.display(),
+                fc.display()
+            );
+        }
+        Ok(())
+    })();
+    match written {
+        Ok(()) => std::process::exit(0),
         Err(e) => {
             eprintln!("error: writing artifacts to {}: {e}", out.display());
             std::process::exit(1);
@@ -506,47 +554,31 @@ fn write_report(report: &SweepReport, out: &Path) -> ! {
     }
 }
 
-/// Run any grid (named or scenario) with its workload family, with or
-/// without event-wheel telemetry sampling, and write the artifacts.
+/// Run any grid (named or scenario) with its workload family and cell
+/// pipeline, with or without event-wheel telemetry sampling, and write
+/// the artifacts.
 fn execute_grid(
     spec: &SweepSpec,
     workload: WorkloadKind,
+    pipeline: CellPipeline,
     scale: &Scale,
     out: &Path,
     telemetry: Option<Dur>,
+    s: Option<&Scenario>,
 ) -> ! {
     let sim = scale.sim();
     let Some(interval) = telemetry else {
         let report = run_sweep_with(spec, sim.label, scale.jobs, |job| {
-            run_cell_workload(&job.coord, &sim, job.seed, workload)
+            pipeline.cell(&job.coord, &sim, job.seed, workload)
         });
-        write_report(&report, out);
+        finish(&report, None, s, out);
     };
-    println!(
+    out!(
         "telemetry: sampling every {} us on the event wheel",
         interval.as_ps() / 1_000_000
     );
-    let (report, telem) = run_telemetry_sweep(spec, &sim, scale.jobs, workload, interval);
-    print_report(&report);
-    let written = report
-        .write(out)
-        .and_then(|(json, csv)| telem.write(out).map(|(tj, tc)| (json, csv, tj, tc)));
-    match written {
-        Ok((json, csv, tj, tc)) => {
-            println!(
-                "\nwrote {} and {}\nwrote {} and {}",
-                json.display(),
-                csv.display(),
-                tj.display(),
-                tc.display()
-            );
-            std::process::exit(0);
-        }
-        Err(e) => {
-            eprintln!("error: writing artifacts to {}: {e}", out.display());
-            std::process::exit(1);
-        }
-    }
+    let (report, telem) = run_telemetry_sweep(spec, &sim, scale.jobs, workload, pipeline, interval);
+    finish(&report, Some(&telem), s, out);
 }
 
 fn run_scenario_grid(
@@ -562,9 +594,17 @@ fn run_scenario_grid(
             .with_replicates(scale.replicates),
         chaos,
     );
-    println!("scenario {}: {} [{}]", s.name, s.title, s.workload.label());
+    out!("scenario {}: {} [{}]", s.name, s.title, s.workload.label());
     announce(&spec, scale);
-    execute_grid(&spec, s.workload, scale, out, telemetry);
+    execute_grid(
+        &spec,
+        s.workload,
+        s.pipeline,
+        scale,
+        out,
+        telemetry,
+        Some(s),
+    );
 }
 
 fn main() {
@@ -621,16 +661,30 @@ fn main() {
     let spec = apply_chaos(spec, chaos);
 
     announce(&spec, &scale);
-    execute_grid(&spec, WorkloadKind::Web, &scale, &out, telemetry);
+    execute_grid(
+        &spec,
+        WorkloadKind::Web,
+        CellPipeline::Replay,
+        &scale,
+        &out,
+        telemetry,
+        None,
+    );
 }
 
 fn print_report(report: &SweepReport) {
-    println!(
+    out!(
         "\n{:<18} {:>5} {:<9} {:>9} {:>22} {:>22} {:>14}",
-        "Topology", "Util", "Original", "Packets", "FracOverdue", "Frac>T", "MeanSlack(us)"
+        "Topology",
+        "Util",
+        "Original",
+        "Packets",
+        "FracOverdue",
+        "Frac>T",
+        "MeanSlack(us)"
     );
     for r in &report.results {
-        println!(
+        out!(
             "{:<18} {:>4.0}% {:<9} {:>9.0} {:>12.6} ±{:>8.6} {:>12.6} ±{:>8.6} {:>14.1}",
             r.coord.topo.label(),
             r.coord.util * 100.0,

@@ -1,0 +1,127 @@
+//! Property-based end-to-end tests of the deadline replay objective
+//! (`ups_core::deadline`): on randomly generated *feasible* deadline-mix
+//! workloads, LSTF-using-deadline-slack replays the recorded EDF
+//! schedule packet-for-packet — fidelity 1.0, zero deadline misses —
+//! and misses appear only when the budget is pushed past feasibility.
+//! Even then the replay identity itself holds: EDF and the LSTF replay
+//! miss the *same* flows, because both orderings reduce to the same
+//! per-hop key when the LSTF slack is seeded from the unclamped
+//! deadline headroom.
+
+use proptest::prelude::*;
+use ups::core::{deadline_flow_stats, record_deadline_original, replay_deadline, DeadlineMode};
+use ups::net::{FlowId, TraceLevel};
+use ups::sim::{Bandwidth, Dur, Time};
+use ups::topo::simple::dumbbell;
+use ups::topo::Topology;
+use ups::transport::FlowDesc;
+
+const MTU: u32 = 1500;
+
+/// Four senders on the left share a 1 Gbps bottleneck to four receivers
+/// on the right — enough contention for EDF ordering to matter, small
+/// enough to run dozens of property cases.
+fn topo() -> Topology {
+    dumbbell(
+        4,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(1),
+        Dur::from_micros(5),
+        TraceLevel::Hops,
+    )
+}
+
+/// Generated flow shapes: `(tag01, pkts, start_us)` per flow. Flow 0 is
+/// always deadline-tagged so [`deadline_flow_stats`] has something to
+/// observe; the rest mix tagged and best-effort traffic.
+fn flow_shapes() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..2, 1u64..6, 0u64..500), 1..6)
+}
+
+fn build_flows(shapes: &[(u64, u64, u64)], budget: Dur, topo: &Topology) -> Vec<FlowDesc> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(tag, pkts, start_us))| {
+            let tagged = i == 0 || tag == 1;
+            FlowDesc {
+                id: FlowId(i as u64),
+                src: topo.hosts[i % 4],
+                dst: topo.hosts[4 + (i + 1) % 4],
+                pkts,
+                start: Time::from_micros(start_us),
+                deadline: tagged.then_some(budget),
+            }
+        })
+        .collect()
+}
+
+/// The worst case the generator can produce: 5 flows × 5 packets ×
+/// 1500 B ≈ 300 µs of bottleneck drain after the last start at 500 µs —
+/// so a 2 ms budget is always comfortably feasible, and a 1 µs budget
+/// (below even the propagation delay) never is.
+const FEASIBLE: Dur = Dur::from_millis(2);
+const INFEASIBLE: Dur = Dur::from_micros(1);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Feasible workloads: the LSTF replay is packet-for-packet
+    /// identical to the EDF original (and to an EDF control replay),
+    /// and every tagged flow meets its deadline.
+    #[test]
+    fn lstf_replays_edf_exactly_with_zero_misses_when_feasible(shapes in flow_shapes()) {
+        let mut rec = topo();
+        let flows = build_flows(&shapes, FEASIBLE, &rec);
+        let ds = record_deadline_original(&mut rec, &flows, MTU);
+
+        let mut edf_topo = topo();
+        let edf_rep = replay_deadline(&mut edf_topo, &ds, DeadlineMode::Edf);
+        prop_assert!(edf_rep.perfect(), "EDF control replay must be bit-exact");
+
+        let mut lstf_topo = topo();
+        let lstf_rep = replay_deadline(&mut lstf_topo, &ds, DeadlineMode::Lstf);
+        prop_assert!(
+            lstf_rep.perfect(),
+            "LSTF-with-deadline-slack must replay EDF exactly: {} overdue of {}",
+            lstf_rep.overdue,
+            lstf_rep.total
+        );
+        prop_assert_eq!(lstf_rep.fidelity(), 1.0);
+        prop_assert_eq!(&lstf_rep.lateness, &edf_rep.lateness);
+
+        let stats = deadline_flow_stats(&flows, &lstf_topo.net.telemetry)
+            .expect("flow 0 is always tagged");
+        prop_assert!(stats.tagged >= 1);
+        prop_assert_eq!(stats.missed, 0, "feasible budget missed {} flows", stats.missed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Infeasible budgets (below the path's propagation delay): every
+    /// tagged flow misses — under EDF *and* under the LSTF replay, in
+    /// equal numbers — yet the replay itself stays exact (fidelity is
+    /// about reproducing the schedule, not meeting deadlines).
+    #[test]
+    fn misses_appear_identically_past_feasibility(shapes in flow_shapes()) {
+        let mut rec = topo();
+        let flows = build_flows(&shapes, INFEASIBLE, &rec);
+        let ds = record_deadline_original(&mut rec, &flows, MTU);
+
+        let mut edf_topo = topo();
+        let edf_rep = replay_deadline(&mut edf_topo, &ds, DeadlineMode::Edf);
+        let mut lstf_topo = topo();
+        let lstf_rep = replay_deadline(&mut lstf_topo, &ds, DeadlineMode::Lstf);
+        prop_assert!(lstf_rep.perfect(), "replay identity must hold even when infeasible");
+        prop_assert_eq!(&lstf_rep.lateness, &edf_rep.lateness);
+
+        let edf_stats = deadline_flow_stats(&flows, &edf_topo.net.telemetry).expect("tagged");
+        let lstf_stats = deadline_flow_stats(&flows, &lstf_topo.net.telemetry).expect("tagged");
+        let tagged = flows.iter().filter(|f| f.deadline.is_some()).count() as u64;
+        prop_assert_eq!(edf_stats.missed, tagged, "1 us budget must miss every tagged flow");
+        prop_assert_eq!(lstf_stats.missed, edf_stats.missed);
+        prop_assert!(lstf_stats.mean_lateness_us > 0.0);
+    }
+}

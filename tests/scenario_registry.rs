@@ -43,6 +43,51 @@ fn deadline_mix_scenario_artifacts_are_identical_across_worker_counts() {
     }
 }
 
+/// ISSUE 10 acceptance: the deadline-replay scenario — one EDF original
+/// per cell, replayed by the cell's candidate scheduler — produces its
+/// table artifact *and* its miss-rate-vs-utilization figure artifact
+/// byte-identically for `--jobs 1` and `--jobs 4`, and the figure shows
+/// the paper's claim: LSTF-with-deadline-slack misses exactly the flows
+/// EDF misses, at every utilization.
+#[test]
+fn deadline_replay_scenario_and_figure_are_identical_across_worker_counts() {
+    let s = scenario::find("i2-deadline-replay").expect("registered");
+    let spec = s.spec().with_replicates(2);
+    let serial = s.run_spec(&spec, &tiny(), 1);
+    let parallel = s.run_spec(&spec, &tiny(), 4);
+    assert_eq!(serial.to_json(), parallel.to_json(), "table JSON differs");
+    assert_eq!(serial.to_csv(), parallel.to_csv(), "table CSV differs");
+
+    let fig = s
+        .miss_curves(&serial)
+        .expect("deadline-replay grids yield a figure");
+    let fig_par = s
+        .miss_curves(&parallel)
+        .expect("figure from the parallel run");
+    assert_eq!(fig.to_json(), fig_par.to_json(), "figure JSON differs");
+    assert_eq!(fig.to_csv(), fig_par.to_csv(), "figure CSV differs");
+
+    let labels: Vec<&str> = fig.results.iter().map(|r| r.series.as_str()).collect();
+    assert_eq!(
+        labels,
+        ["EDF", "LSTF", "Priority"],
+        "one series per candidate"
+    );
+    let curve = |i: usize| -> Vec<f64> { fig.results[i].points.iter().map(|p| p.mean).collect() };
+    assert_eq!(
+        curve(0),
+        curve(1),
+        "LSTF-with-deadline-slack must reproduce EDF's miss-rate curve exactly"
+    );
+    for cell in &serial.results {
+        let d = cell
+            .deadline
+            .as_ref()
+            .expect("deadline payload on every cell");
+        assert!((0.0..=1.0).contains(&d.miss_rate.mean));
+    }
+}
+
 /// The incast workload stresses a different link tier than web traffic;
 /// the registry's incast grid must still replay packets end-to-end.
 #[test]

@@ -1,0 +1,54 @@
+//! Binary-level regression test for the PR 8 wart: `sweep ... | head`
+//! used to die before writing artifacts. Rust ignores SIGPIPE, so once
+//! `head` closes the pipe every `println!` panics with a broken-pipe
+//! IO error — killing the run *after* the cells were computed but
+//! *before* `<out>/<grid>.json` landed on disk. The binary now routes
+//! every stdout write through an error-swallowing macro; this test
+//! closes the read end of the child's stdout immediately (the worst
+//! case: every progress line hits EPIPE) and requires a zero exit and
+//! complete artifacts anyway.
+
+use std::process::{Command, Stdio};
+
+#[test]
+fn sweep_writes_artifacts_even_when_stdout_closes_early() {
+    let out = std::env::temp_dir().join(format!("ups-sweep-sigpipe-{}", std::process::id()));
+    std::fs::remove_dir_all(&out).ok();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args([
+            "--grid",
+            "smoke",
+            "--jobs",
+            "2",
+            "--edges",
+            "2",
+            "--horizon-ms",
+            "1",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sweep");
+    // Close the pipe's read end before the child prints anything — a
+    // `| head -1` that exited instantly. Every later stdout write in
+    // the child fails with EPIPE.
+    drop(child.stdout.take());
+    let status = child.wait().expect("wait for sweep");
+    assert!(
+        status.success(),
+        "sweep died on a closed stdout pipe: {status:?}"
+    );
+
+    let json = std::fs::read_to_string(out.join("smoke.json"))
+        .expect("smoke.json missing: artifacts were not written");
+    assert!(
+        json.contains("\"kind\": \"table\""),
+        "smoke.json truncated or malformed"
+    );
+    let csv = std::fs::read_to_string(out.join("smoke.csv")).expect("smoke.csv missing");
+    assert!(csv.lines().count() > 1, "smoke.csv has no data rows");
+    std::fs::remove_dir_all(&out).ok();
+}

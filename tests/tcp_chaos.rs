@@ -1,0 +1,104 @@
+//! Closed-loop TCP Reno driven through a `ChaosPolicy` *link-failure*
+//! schedule — the ROADMAP chaos gap beyond seeded i.i.d. wire loss
+//! (`tests/tcp_behavior.rs::recovers_from_seeded_wire_loss`). Periodic
+//! hard-down windows on the bottleneck kill in-flight packets and
+//! refuse arrivals for the whole window, so Reno has to ride out
+//! back-to-back loss episodes (including RTO-driven recovery when an
+//! entire window of a small cwnd is wiped) and still complete every
+//! flow. The run is seeded end to end, so the delivered-byte and
+//! retransmit counts are golden: a changed value means the chaos
+//! window generator, the failure drain path, or TCP recovery moved.
+
+use ups::net::{ChaosPolicy, FlowId, TraceLevel};
+use ups::sim::{Bandwidth, Dur, Time};
+use ups::topo::simple::dumbbell;
+use ups::transport::{install_tcp, FlowDesc, HeaderStamper, TcpConfig};
+
+/// One full closed-loop run: 2 Reno flows × 300 packets across a
+/// 1 Gbps bottleneck that goes dark for 250 µs out of every 5 ms.
+fn run() -> (u64, u64, u64) {
+    let mut topo = dumbbell(
+        2,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(1),
+        Dur::from_micros(50),
+        TraceLevel::Delivery,
+    );
+    let flows: Vec<FlowDesc> = (0..2)
+        .map(|i| FlowDesc {
+            id: FlowId(i),
+            src: topo.hosts[i as usize],
+            dst: topo.hosts[2 + i as usize],
+            pkts: 300,
+            start: Time::ZERO,
+            deadline: None,
+        })
+        .collect();
+    topo.net.install_chaos(Time::from_secs(30), |l| {
+        (l.bw == Bandwidth::gbps(1)).then(|| {
+            ChaosPolicy::new(0xFA11).fail_periodic(Dur::from_millis(5), Dur::from_micros(250))
+        })
+    });
+    let results = install_tcp(
+        &mut topo.net,
+        &flows,
+        &TcpConfig::default(),
+        HeaderStamper::zero,
+    );
+    topo.net.run_until(Time::from_secs(20));
+
+    let totals = topo.net.chaos_totals();
+    assert!(totals.downs > 0, "no failure window ever opened");
+    assert!(
+        totals.drops > 0,
+        "failure windows never caught a packet in flight"
+    );
+    let mut retransmits = 0;
+    for r in results.lock().unwrap().iter() {
+        assert!(
+            r.completed.is_some(),
+            "flow {:?} never recovered from link failures ({} retransmits)",
+            r.desc.id,
+            r.retransmits
+        );
+        retransmits += r.retransmits;
+    }
+    assert!(
+        retransmits > 0,
+        "periodic hard-down windows must force retransmissions"
+    );
+    let data_bytes: u64 = topo
+        .net
+        .telemetry
+        .packets
+        .iter()
+        .filter(|r| r.delivered.is_some() && !ups::transport::is_ack_flow(r.flow))
+        .map(|r| r.size as u64)
+        .sum();
+    (data_bytes, retransmits, totals.downs)
+}
+
+#[test]
+fn reno_completes_through_periodic_link_failures_bit_stably() {
+    let (data_bytes, retransmits, downs) = run();
+    // Fixed-seed goldens: the 600-packet payload plus re-delivered
+    // retransmits, and the retransmissions the failure windows forced.
+    // A moved value means the chaos failure schedule or Reno's recovery
+    // path changed behavior.
+    assert_eq!(
+        data_bytes, GOLDEN_DATA_BYTES,
+        "golden delivered-byte count moved (got {data_bytes})"
+    );
+    assert_eq!(
+        retransmits, GOLDEN_RETRANSMITS,
+        "golden retransmit count moved (got {retransmits})"
+    );
+    assert_eq!(
+        (data_bytes, retransmits, downs),
+        run(),
+        "seeded link-failure run not reproducible"
+    );
+}
+
+const GOLDEN_DATA_BYTES: u64 = 904_500;
+const GOLDEN_RETRANSMITS: u64 = 3;

@@ -15,7 +15,7 @@ use std::sync::Mutex;
 use ups_bench::{fig1_report, Scale};
 use ups_core::WorkloadKind;
 use ups_sim::Dur;
-use ups_sweep::{run_sweep, run_telemetry_sweep, SweepSpec};
+use ups_sweep::{run_sweep, run_telemetry_sweep, CellPipeline, SweepSpec};
 
 /// Serializes access to the process-wide sampling interval.
 static SAMPLER: Mutex<()> = Mutex::new(());
@@ -35,7 +35,14 @@ fn table_artifact_is_byte_identical_with_sampling_on() {
     assert_eq!(ups_obs::sample_interval(), None, "sampling leaked on");
     let off = run_sweep(&spec, &sim, 2);
 
-    let (on, telem) = run_telemetry_sweep(&spec, &sim, 2, WorkloadKind::Web, Dur::from_micros(50));
+    let (on, telem) = run_telemetry_sweep(
+        &spec,
+        &sim,
+        2,
+        WorkloadKind::Web,
+        CellPipeline::Replay,
+        Dur::from_micros(50),
+    );
     assert_eq!(
         ups_obs::sample_interval(),
         None,
